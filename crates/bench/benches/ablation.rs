@@ -1,0 +1,83 @@
+//! Ablation bench (DESIGN.md E11 + modelling-choice ablations): dataflow ×
+//! fold-overlap sweep, and the Neural Operator Search. Regenerates the
+//! ablation tables, then times the NOS frontier computation and the model
+//! under every accounting mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::{banner, paper_array};
+use fuseconv_core::nos;
+use fuseconv_latency::{estimate_network, Dataflow, FoldOverlap, LatencyModel};
+use fuseconv_models::zoo;
+use fuseconv_nn::FuSeVariant;
+use std::hint::black_box;
+
+fn print_dataflow_ablation() {
+    banner("ablation: dataflow x fold-overlap (MobileNet-V2)");
+    let net = zoo::mobilenet_v2();
+    let full = net.transform_all(FuSeVariant::Full);
+    let half = net.transform_all(FuSeVariant::Half);
+    for dataflow in [Dataflow::OutputStationary, Dataflow::WeightStationary] {
+        for overlap in [FoldOverlap::Serial, FoldOverlap::DoubleBuffered] {
+            let model = LatencyModel::new(paper_array())
+                .with_dataflow(dataflow)
+                .with_overlap(overlap);
+            let base = estimate_network(&model, &net).expect("estimate");
+            let f = estimate_network(&model, &full).expect("estimate");
+            let h = estimate_network(&model, &half).expect("estimate");
+            println!(
+                "{dataflow:?}/{overlap:?}: base {} cycles, full {:.2}x, half {:.2}x",
+                base.total_cycles,
+                f.speedup_over(&base),
+                h.speedup_over(&base)
+            );
+        }
+    }
+}
+
+fn print_nos_frontiers() {
+    banner("E11: NOS Pareto frontier sizes");
+    for net in zoo::all_baselines() {
+        let frontier = nos::pareto_frontier(&net, &paper_array()).expect("frontier");
+        println!(
+            "{:<20} {:>3} frontier points over {} replaceable blocks",
+            net.name(),
+            frontier.len(),
+            net.replaceable_indices().len()
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_dataflow_ablation();
+    print_nos_frontiers();
+
+    let mut group = c.benchmark_group("ablation/estimate_v2_full");
+    let full = zoo::mobilenet_v2().transform_all(FuSeVariant::Full);
+    for (label, dataflow, overlap) in [
+        ("os_serial", Dataflow::OutputStationary, FoldOverlap::Serial),
+        ("os_db", Dataflow::OutputStationary, FoldOverlap::DoubleBuffered),
+        ("ws_serial", Dataflow::WeightStationary, FoldOverlap::Serial),
+        ("ws_db", Dataflow::WeightStationary, FoldOverlap::DoubleBuffered),
+    ] {
+        let model = LatencyModel::new(paper_array())
+            .with_dataflow(dataflow)
+            .with_overlap(overlap);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, model| {
+            b.iter(|| estimate_network(model, black_box(&full)).expect("estimate"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("nos/pareto_frontier");
+    for net in [zoo::mobilenet_v3_small(), zoo::mobilenet_v2()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.name().to_string()),
+            &net,
+            |b, net| b.iter(|| nos::pareto_frontier(black_box(net), &paper_array()).expect("ok")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Bench target for **Fig. 8(b)/(c)/(d)** (experiments E5/E6/E7):
+//! regenerates each figure's series, then times its driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::{banner, paper_array};
+use fuseconv_core::experiments::{array_scaling, layerwise, operator_breakdown};
+use fuseconv_core::variant::Variant;
+use fuseconv_models::zoo;
+use std::hint::black_box;
+
+fn print_fig8b() {
+    banner("Fig. 8(b): MobileNet-V2 FuSe-Full layer-wise speed-up");
+    let rows = layerwise(&zoo::mobilenet_v2(), Variant::FuseFull, &paper_array())
+        .expect("layerwise");
+    for row in rows.iter().filter(|r| r.transformed) {
+        println!("{:<10} {:>6.2}x", row.block, row.speedup);
+    }
+}
+
+fn print_fig8c() {
+    banner("Fig. 8(c): operator-class latency distribution");
+    let rows = operator_breakdown(&paper_array()).expect("breakdown");
+    for row in &rows {
+        print!("{:<20} {:<10}", row.network, row.variant.to_string());
+        for (class, fraction) in &row.fractions {
+            print!("  {class}: {:4.1}%", fraction * 100.0);
+        }
+        println!();
+    }
+}
+
+fn print_fig8d(sizes: &[usize]) {
+    banner("Fig. 8(d): FuSe-Full speed-up vs array size");
+    let rows = array_scaling(sizes).expect("scaling");
+    for row in &rows {
+        println!(
+            "{:<20} {:>4}x{:<4} {:>6.2}x",
+            row.network, row.array_size, row.array_size, row.speedup
+        );
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let sizes = [8usize, 16, 32, 64, 128];
+    print_fig8b();
+    print_fig8c();
+    print_fig8d(&sizes);
+
+    c.bench_function("fig8b/layerwise_v2_full", |b| {
+        let net = zoo::mobilenet_v2();
+        b.iter(|| layerwise(black_box(&net), Variant::FuseFull, &paper_array()).expect("rows"))
+    });
+    c.bench_function("fig8c/operator_breakdown", |b| {
+        b.iter(|| operator_breakdown(black_box(&paper_array())).expect("rows"))
+    });
+    let mut group = c.benchmark_group("fig8d/array_scaling");
+    for s in sizes {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| array_scaling(black_box(&[s])).expect("rows"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

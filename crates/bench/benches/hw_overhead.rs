@@ -1,0 +1,37 @@
+//! Bench target for the **§V-B-5 area/power overhead** experiment (E8):
+//! regenerates the overhead table, then times the structural cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::banner;
+use fuseconv_core::experiments::hw_overhead;
+use fuseconv_core::paper::HW_OVERHEAD_32X32;
+use fuseconv_hwcost::TechnologyProfile;
+use std::hint::black_box;
+
+fn print_overheads(sizes: &[usize]) {
+    banner("§V-B-5: broadcast-link area/power overhead");
+    for (s, o) in hw_overhead(sizes) {
+        println!("{s:>4}x{s:<4} area +{:.2}%  power +{:.2}%", o.area_pct, o.power_pct);
+    }
+    println!(
+        "paper @32x32: area +{:.2}%  power +{:.2}%",
+        HW_OVERHEAD_32X32.0, HW_OVERHEAD_32X32.1
+    );
+}
+
+fn bench_hw(c: &mut Criterion) {
+    let sizes = [8usize, 16, 32, 64, 128, 256];
+    print_overheads(&sizes);
+
+    let tech = TechnologyProfile::nangate45();
+    let mut group = c.benchmark_group("hwcost/broadcast_overhead");
+    for s in [32usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| tech.broadcast_overhead(black_box(s), black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

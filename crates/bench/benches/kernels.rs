@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the functional kernels: the reference layer
+//! implementations that back the accuracy study and every golden-model
+//! comparison. Not a paper artifact per se, but the harness users profile
+//! when extending the library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_nn::conv::{conv2d, depthwise2d, pointwise, Conv2dSpec};
+use fuseconv_nn::{FuSeConv, FuSeVariant};
+use fuseconv_tensor::Tensor;
+use std::hint::black_box;
+
+fn tensor(dims: &[usize]) -> Tensor {
+    let mut i = 0u32;
+    Tensor::from_fn(dims, |_| {
+        i = i.wrapping_mul(1664525).wrapping_add(1013904223);
+        (i >> 16) as f32 / 65536.0 - 0.5
+    })
+    .expect("valid dims")
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // A representative mid-network shape: 32 channels at 28x28.
+    let (ch, h, w, k) = (32usize, 28usize, 28usize, 3usize);
+    let input = tensor(&[ch, h, w]);
+
+    c.bench_function("kernels/conv2d_3x3_32to32@28", |b| {
+        let weight = tensor(&[ch, ch, k, k]);
+        let spec = Conv2dSpec::square(k, 1, 1).expect("spec");
+        b.iter(|| conv2d(black_box(&input), &weight, &spec).expect("conv"))
+    });
+
+    c.bench_function("kernels/depthwise_3x3_c32@28", |b| {
+        let weight = tensor(&[ch, k, k]);
+        let spec = Conv2dSpec::square(k, 1, 1).expect("spec");
+        b.iter(|| depthwise2d(black_box(&input), &weight, &spec).expect("dw"))
+    });
+
+    let mut group = c.benchmark_group("kernels/fuseconv_c32@28");
+    for variant in [FuSeVariant::Full, FuSeVariant::Half] {
+        let layer = FuSeConv::new(
+            variant,
+            ch,
+            k,
+            1,
+            tensor(&[ch / variant.d(), 1, k]),
+            tensor(&[ch / variant.d(), k, 1]),
+        )
+        .expect("layer");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &layer,
+            |b, layer| b.iter(|| layer.forward(black_box(&input)).expect("fuse")),
+        );
+    }
+    group.finish();
+
+    c.bench_function("kernels/pointwise_32to64@28", |b| {
+        let weight = tensor(&[64, ch]);
+        b.iter(|| pointwise(black_box(&input), &weight).expect("pw"))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

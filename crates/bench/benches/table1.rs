@@ -1,0 +1,64 @@
+//! Bench target for **Table I** (experiments E1/E2/E4, incl. Fig. 8(a)
+//! latencies): regenerates the table once, then times the latency
+//! estimation per network × variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::{banner, paper_array};
+use fuseconv_core::experiments::table1;
+use fuseconv_core::paper;
+use fuseconv_core::variant::{apply_variant, Variant};
+use fuseconv_latency::{estimate_network, LatencyModel};
+use fuseconv_models::zoo;
+use std::hint::black_box;
+
+fn print_table1() {
+    banner("Table I (measured vs paper)");
+    let rows = table1(&paper_array()).expect("table1");
+    println!(
+        "{:<20} {:<14} {:>9} {:>8} {:>12} {:>8} {:>8}",
+        "network", "variant", "MACs(M)", "par(M)", "cycles", "speedup", "paper"
+    );
+    for row in &rows {
+        let ps = paper::lookup(&row.network, row.variant)
+            .map(|p| format!("{:.2}x", p.speedup))
+            .unwrap_or_default();
+        println!(
+            "{:<20} {:<14} {:>9.0} {:>8.2} {:>12} {:>7.2}x {:>8}",
+            row.network,
+            row.variant.to_string(),
+            row.macs_millions,
+            row.params_millions,
+            row.latency_cycles,
+            row.speedup,
+            ps
+        );
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_table1();
+
+    let array = paper_array();
+    let model = LatencyModel::new(array);
+    let mut group = c.benchmark_group("table1/estimate_network");
+    for baseline in zoo::all_baselines() {
+        for variant in [Variant::Baseline, Variant::FuseFull, Variant::FuseHalf] {
+            let net = apply_variant(&baseline, variant, &array).expect("transform");
+            group.bench_with_input(
+                BenchmarkId::new(baseline.name(), variant),
+                &net,
+                |b, net| b.iter(|| estimate_network(&model, black_box(net)).expect("estimate")),
+            );
+        }
+    }
+    group.finish();
+
+    // The full Table I generation (includes the latency-guided 50% block
+    // selection, the expensive part).
+    c.bench_function("table1/full_generation", |b| {
+        b.iter(|| table1(black_box(&array)).expect("table1"))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench target regenerates one of the paper's tables or
+//! figures — printing the same rows/series the paper reports — and then
+//! times the computation that produced it. The experiment ↔ bench mapping
+//! is indexed in `DESIGN.md` (E1–E10).
+
+#![warn(missing_docs)]
+
+use fuseconv_systolic::ArrayConfig;
+
+/// The paper's evaluation array: 64×64 with row-broadcast links (§V-A-3).
+pub fn paper_array() -> ArrayConfig {
+    ArrayConfig::square(64)
+        .expect("64 is nonzero")
+        .with_broadcast(true)
+}
+
+/// Prints a banner separating regenerated artifacts in bench output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_array_is_64x64_broadcast() {
+        let a = paper_array();
+        assert_eq!((a.rows(), a.cols()), (64, 64));
+        assert!(a.has_broadcast());
+    }
+}

@@ -1,0 +1,262 @@
+//! `fuseconv` — command-line interface to the FuSeConv reproduction.
+//!
+//! ```text
+//! fuseconv table1    [--array 64]
+//! fuseconv layerwise [--network MobileNet-V2] [--variant full|half] [--array 64]
+//! fuseconv breakdown [--array 64]
+//! fuseconv scaling   [--sizes 8,16,32,64,128]
+//! fuseconv overhead  [--sizes 8,16,32,64,128,256]
+//! fuseconv energy    [--array 64] [--mhz 700]
+//! fuseconv nos       [--network MobileNet-V2] [--array 64]
+//! fuseconv topology  <file> [--array 64]
+//! fuseconv reports   [--dir reports] [--array 64]
+//! fuseconv help
+//! ```
+
+mod args;
+
+use args::ParsedArgs;
+use fuseconv_core::experiments;
+use fuseconv_core::nos;
+use fuseconv_core::report;
+use fuseconv_core::variant::{apply_variant, Variant};
+use fuseconv_latency::{estimate_network, LatencyModel};
+use fuseconv_models::{topology, zoo, Network};
+use fuseconv_systolic::ArrayConfig;
+use std::path::Path;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+fuseconv — FuSeConv (DATE 2021) reproduction CLI
+
+USAGE: fuseconv <command> [flags]
+
+COMMANDS:
+  table1     Table I: MACs, params, latency and speed-up (all networks/variants)
+  layerwise  Fig. 8(b): per-block speed-up   [--network NAME] [--variant full|half]
+  breakdown  Fig. 8(c): operator-class latency distribution
+  scaling    Fig. 8(d): speed-up vs array size   [--sizes 8,16,...]
+  overhead   §V-B-5: broadcast-link area/power overhead   [--sizes ...]
+  energy     per-inference energy (latency x power model)   [--mhz 700]
+  nos        Neural Operator Search Pareto frontier   [--network NAME]
+  topology   evaluate a custom network from a topology file: fuseconv topology FILE
+  reports    write every latency-side experiment to CSV   [--dir reports]
+  help       this text
+
+Common flag: --array N (square array side, default 64).";
+
+fn find_network(name: &str) -> Option<Network> {
+    zoo::all_baselines()
+        .into_iter()
+        .chain([zoo::resnet50(), zoo::efficientnet_b0()])
+        .find(|n| n.name().eq_ignore_ascii_case(name))
+}
+
+fn array_of(parsed: &ParsedArgs) -> Result<ArrayConfig, String> {
+    let side = parsed.usize_flag("array", 64).map_err(|e| e.to_string())?;
+    ArrayConfig::square(side)
+        .map(|a| a.with_broadcast(true))
+        .map_err(|e| e.to_string())
+}
+
+fn run(parsed: &ParsedArgs) -> Result<(), String> {
+    match parsed.command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "table1" => {
+            let array = array_of(parsed)?;
+            let rows = experiments::table1(&array).map_err(|e| e.to_string())?;
+            println!("{}", report::table1_csv(&rows).trim_end());
+            Ok(())
+        }
+        "layerwise" => {
+            let array = array_of(parsed)?;
+            let name = parsed.flag("network").unwrap_or("MobileNet-V2");
+            let net =
+                find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let variant = match parsed.flag("variant").unwrap_or("full") {
+                "full" => Variant::FuseFull,
+                "half" => Variant::FuseHalf,
+                other => return Err(format!("--variant must be full or half, got `{other}`")),
+            };
+            let rows =
+                experiments::layerwise(&net, variant, &array).map_err(|e| e.to_string())?;
+            println!("{}", report::layerwise_csv(&rows).trim_end());
+            Ok(())
+        }
+        "breakdown" => {
+            let array = array_of(parsed)?;
+            let rows = experiments::operator_breakdown(&array).map_err(|e| e.to_string())?;
+            println!("{}", report::breakdown_csv(&rows).trim_end());
+            Ok(())
+        }
+        "scaling" => {
+            let sizes = parsed
+                .usize_list_flag("sizes", &[8, 16, 32, 64, 128])
+                .map_err(|e| e.to_string())?;
+            let rows = experiments::array_scaling(&sizes).map_err(|e| e.to_string())?;
+            println!("{}", report::scaling_csv(&rows).trim_end());
+            Ok(())
+        }
+        "overhead" => {
+            let sizes = parsed
+                .usize_list_flag("sizes", &[8, 16, 32, 64, 128, 256])
+                .map_err(|e| e.to_string())?;
+            let rows = experiments::hw_overhead(&sizes);
+            println!("{}", report::overhead_csv(&rows).trim_end());
+            Ok(())
+        }
+        "energy" => {
+            let side = parsed.usize_flag("array", 64).map_err(|e| e.to_string())?;
+            let mhz = parsed.f64_flag("mhz", 700.0).map_err(|e| e.to_string())?;
+            let rows = experiments::energy_study(side, mhz).map_err(|e| e.to_string())?;
+            println!("{}", report::energy_csv(&rows).trim_end());
+            Ok(())
+        }
+        "nos" => {
+            let array = array_of(parsed)?;
+            let name = parsed.flag("network").unwrap_or("MobileNet-V2");
+            let net =
+                find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let frontier = nos::pareto_frontier(&net, &array).map_err(|e| e.to_string())?;
+            println!("latency_cycles,params,assignment");
+            for p in &frontier {
+                let asg: String = p
+                    .assignment
+                    .iter()
+                    .map(|c| match c {
+                        nos::OpChoice::Depthwise => 'D',
+                        nos::OpChoice::FuseFull => 'F',
+                        nos::OpChoice::FuseHalf => 'H',
+                    })
+                    .collect();
+                println!("{},{},{asg}", p.latency, p.params);
+            }
+            Ok(())
+        }
+        "topology" => {
+            let file = parsed
+                .positional
+                .first()
+                .ok_or("usage: fuseconv topology <file> [--array N]")?;
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read {file}: {e}"))?;
+            let net = topology::parse(file, &text).map_err(|e| e.to_string())?;
+            let array = array_of(parsed)?;
+            let model = LatencyModel::new(array);
+            let base = estimate_network(&model, &net).map_err(|e| e.to_string())?;
+            println!("network,variant,macs,params,latency_cycles,speedup");
+            for variant in Variant::ALL {
+                let v = apply_variant(&net, variant, &array).map_err(|e| e.to_string())?;
+                let lat = estimate_network(&model, &v).map_err(|e| e.to_string())?;
+                println!(
+                    "{},{},{},{},{},{:.4}",
+                    net.name(),
+                    variant,
+                    v.macs(),
+                    v.params(),
+                    lat.total_cycles,
+                    lat.speedup_over(&base)
+                );
+            }
+            Ok(())
+        }
+        "reports" => {
+            let array = array_of(parsed)?;
+            let dir = parsed.flag("dir").unwrap_or("reports");
+            let written =
+                report::write_all(Path::new(dir), &array).map_err(|e| e.to_string())?;
+            for p in written {
+                println!("{}", p.display());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `fuseconv help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&parsed(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&parsed(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn table1_runs_on_small_array() {
+        assert!(run(&parsed(&["table1", "--array", "8"])).is_ok());
+    }
+
+    #[test]
+    fn layerwise_validates_inputs() {
+        assert!(run(&parsed(&["layerwise", "--network", "nope"])).is_err());
+        assert!(run(&parsed(&["layerwise", "--variant", "quarter"])).is_err());
+        assert!(run(&parsed(&[
+            "layerwise",
+            "--network",
+            "mobilenet-v1",
+            "--variant",
+            "half",
+            "--array",
+            "16"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn overhead_and_scaling_accept_size_lists() {
+        assert!(run(&parsed(&["overhead", "--sizes", "8,32"])).is_ok());
+        assert!(run(&parsed(&["scaling", "--sizes", "8"])).is_ok());
+        assert!(run(&parsed(&["scaling", "--sizes", "8,x"])).is_err());
+    }
+
+    #[test]
+    fn nos_runs_for_resnet_too() {
+        // ResNet-50 has no replaceable blocks: frontier is a single point.
+        assert!(run(&parsed(&["nos", "--network", "resnet-50", "--array", "16"])).is_ok());
+    }
+
+    #[test]
+    fn topology_requires_file() {
+        assert!(run(&parsed(&["topology"])).is_err());
+        assert!(run(&parsed(&["topology", "/nonexistent/x.txt"])).is_err());
+    }
+
+    #[test]
+    fn zero_array_rejected() {
+        assert!(run(&parsed(&["table1", "--array", "0"])).is_err());
+    }
+}

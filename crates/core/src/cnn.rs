@@ -1,0 +1,175 @@
+//! Small trainable CNNs with a selectable spatial stage, used by the
+//! accuracy study (the Table I accuracy column, on the synthetic
+//! substitute task).
+//!
+//! Each network is the same depthwise-separable architecture except for its
+//! spatial filters, mirroring the paper's drop-in replacement protocol: the
+//! baseline uses `K×K` depthwise filters, the variants use FuSe banks. All
+//! three see identical parameter budgets elsewhere.
+
+use crate::variant::Variant;
+use fuseconv_nn::FuSeVariant;
+use fuseconv_train::layers::{
+    ActivationLayer, AvgPoolLayer, ChannelNormLayer, Conv2dLayer, DenseLayer, DepthwiseLayer,
+    FuseLayer, GlobalPoolLayer, PointwiseLayer,
+};
+use fuseconv_train::Sequential;
+
+/// Architecture hyper-parameters for the study CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnnConfig {
+    /// Input channels (1 for the synthetic textures).
+    pub in_channels: usize,
+    /// Stem output channels.
+    pub stem_channels: usize,
+    /// Channels after the first separable block.
+    pub mid_channels: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Depthwise/FuSe kernel length.
+    pub k: usize,
+    /// Weight initialization seed.
+    pub seed: u64,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            in_channels: 1,
+            stem_channels: 8,
+            mid_channels: 16,
+            classes: 4,
+            k: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the study CNN with the spatial stage selected by `variant`
+/// (`Baseline` → depthwise; the 50 % variants are treated as their full
+/// counterparts since the network has a single separable stage per block).
+///
+/// Architecture (normalize-then-activate after every conv, as MobileNets
+/// do): stem conv → norm → ReLU → \[spatial → pointwise → norm → ReLU\] →
+/// pool/2 → \[spatial → pointwise → norm → ReLU\] → global pool → dense.
+pub fn build_cnn(variant: Variant, cfg: &CnnConfig) -> Sequential {
+    let mut net = Sequential::new();
+    let s = cfg.seed;
+    net.push(Conv2dLayer::new(
+        cfg.in_channels,
+        cfg.stem_channels,
+        3,
+        1,
+        s.wrapping_add(1),
+    ));
+    net.push(ChannelNormLayer::new(cfg.stem_channels));
+    net.push(ActivationLayer::relu());
+
+    push_separable(
+        &mut net,
+        variant,
+        cfg.stem_channels,
+        cfg.mid_channels,
+        cfg.k,
+        s.wrapping_add(2),
+    );
+    net.push(ActivationLayer::relu());
+    net.push(AvgPoolLayer::new(2));
+    push_separable(
+        &mut net,
+        variant,
+        cfg.mid_channels,
+        cfg.mid_channels * 2,
+        cfg.k,
+        s.wrapping_add(3),
+    );
+    net.push(ActivationLayer::relu());
+    net.push(GlobalPoolLayer::new());
+    net.push(DenseLayer::new(
+        cfg.mid_channels * 2,
+        cfg.classes,
+        s.wrapping_add(4),
+    ));
+    net
+}
+
+fn push_separable(
+    net: &mut Sequential,
+    variant: Variant,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    seed: u64,
+) {
+    match variant.fuse_variant() {
+        None => {
+            net.push(DepthwiseLayer::new(in_c, k, k, seed));
+            net.push(PointwiseLayer::new(in_c, out_c, seed ^ 0xbeef));
+        }
+        Some(v @ FuSeVariant::Full) => {
+            net.push(FuseLayer::new(v, in_c, k, seed));
+            net.push(PointwiseLayer::new(2 * in_c, out_c, seed ^ 0xbeef));
+        }
+        Some(v @ FuSeVariant::Half) => {
+            net.push(FuseLayer::new(v, in_c, k, seed));
+            net.push(PointwiseLayer::new(in_c, out_c, seed ^ 0xbeef));
+        }
+    }
+    net.push(ChannelNormLayer::new(out_c));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_tensor::Tensor;
+
+    #[test]
+    fn all_variants_produce_same_output_shape() {
+        let cfg = CnnConfig::default();
+        let x = Tensor::full(&[1, 16, 16], 0.5).unwrap();
+        for v in [Variant::Baseline, Variant::FuseFull, Variant::FuseHalf] {
+            let mut net = build_cnn(v, &cfg);
+            let y = net.forward(&x).unwrap();
+            assert_eq!(y.shape().dims(), &[4], "{v}");
+        }
+    }
+
+    #[test]
+    fn full_variant_has_more_parameters_half_fewer() {
+        // Mirrors Table I's parameter ordering: Full > baseline > Half.
+        let cfg = CnnConfig::default();
+        let count = |v: Variant| build_cnn(v, &cfg).num_params();
+        let base = count(Variant::Baseline);
+        let full = count(Variant::FuseFull);
+        let half = count(Variant::FuseHalf);
+        assert!(full > base, "full {full} vs base {base}");
+        assert!(half < base, "half {half} vs base {base}");
+    }
+
+    #[test]
+    fn partial_variants_fall_back_to_full_counterparts() {
+        let cfg = CnnConfig::default();
+        let a = build_cnn(Variant::FuseFull50, &cfg).num_params();
+        let b = build_cnn(Variant::FuseFull, &cfg).num_params();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradients_flow_through_every_variant() {
+        let cfg = CnnConfig::default();
+        let x = Tensor::from_fn(&[1, 16, 16], |ix| ((ix[1] + ix[2]) % 3) as f32 - 1.0).unwrap();
+        for v in [Variant::Baseline, Variant::FuseFull, Variant::FuseHalf] {
+            let mut net = build_cnn(v, &cfg);
+            let _ = net.forward(&x).unwrap();
+            let g = Tensor::full(&[4], 0.25).unwrap();
+            let gx = net.backward(&g).unwrap();
+            assert_eq!(gx.shape().dims(), &[1, 16, 16]);
+            // At least one parameter gradient must be nonzero.
+            let nonzero = net
+                .params_mut()
+                .iter()
+                .any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0));
+            assert!(nonzero, "{v}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's published Table I numbers, kept as data so every report can
+//! print paper-vs-measured side by side.
+
+use crate::variant::Variant;
+
+/// One published row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Network name (matching `fuseconv_models::zoo` names).
+    pub network: &'static str,
+    /// Variant.
+    pub variant: Variant,
+    /// ImageNet top-1 accuracy (%).
+    pub imagenet_accuracy: f64,
+    /// MACs in millions.
+    pub macs_millions: f64,
+    /// Parameters in millions.
+    pub params_millions: f64,
+    /// Speed-up over the baseline on a 64×64 array.
+    pub speedup: f64,
+}
+
+/// Every row of the paper's Table I.
+pub const TABLE1: [PaperRow; 25] = [
+    row("MobileNet-V1", Variant::Baseline, 70.60, 589.0, 4.23, 1.0),
+    row("MobileNet-V1", Variant::FuseFull, 72.86, 1122.0, 7.36, 4.1),
+    row("MobileNet-V1", Variant::FuseHalf, 72.00, 573.0, 4.20, 6.76),
+    row("MobileNet-V1", Variant::FuseFull50, 72.42, 764.0, 4.35, 2.2),
+    row("MobileNet-V1", Variant::FuseHalf50, 71.77, 578.0, 4.22, 2.36),
+    row("MobileNet-V2", Variant::Baseline, 72.00, 315.0, 3.50, 1.0),
+    row("MobileNet-V2", Variant::FuseFull, 72.49, 430.0, 4.46, 5.1),
+    row("MobileNet-V2", Variant::FuseHalf, 70.80, 300.0, 3.46, 7.23),
+    row("MobileNet-V2", Variant::FuseFull50, 72.11, 361.0, 3.61, 2.0),
+    row("MobileNet-V2", Variant::FuseHalf50, 71.98, 305.0, 3.49, 2.1),
+    row("MnasNet-B1", Variant::Baseline, 73.50, 325.0, 4.38, 1.0),
+    row("MnasNet-B1", Variant::FuseFull, 73.16, 440.0, 5.66, 5.06),
+    row("MnasNet-B1", Variant::FuseHalf, 71.48, 305.0, 4.25, 7.15),
+    row("MnasNet-B1", Variant::FuseFull50, 73.52, 361.0, 4.47, 1.88),
+    row("MnasNet-B1", Variant::FuseHalf50, 72.61, 312.0, 4.35, 1.97),
+    row("MobileNet-V3-Small", Variant::Baseline, 67.40, 66.0, 2.93, 1.0),
+    row("MobileNet-V3-Small", Variant::FuseFull, 67.17, 84.0, 4.44, 3.02),
+    row("MobileNet-V3-Small", Variant::FuseHalf, 64.55, 61.0, 2.89, 4.16),
+    row("MobileNet-V3-Small", Variant::FuseFull50, 67.91, 73.0, 3.18, 1.6),
+    row("MobileNet-V3-Small", Variant::FuseHalf50, 66.90, 63.0, 2.92, 1.68),
+    row("MobileNet-V3-Large", Variant::Baseline, 75.20, 238.0, 5.47, 1.0),
+    row("MobileNet-V3-Large", Variant::FuseFull, 74.40, 322.0, 10.57, 3.61),
+    row("MobileNet-V3-Large", Variant::FuseHalf, 73.02, 225.0, 5.40, 5.45),
+    row("MobileNet-V3-Large", Variant::FuseFull50, 74.50, 264.0, 5.57, 1.76),
+    row("MobileNet-V3-Large", Variant::FuseHalf50, 73.80, 230.0, 5.46, 1.83),
+];
+
+const fn row(
+    network: &'static str,
+    variant: Variant,
+    imagenet_accuracy: f64,
+    macs_millions: f64,
+    params_millions: f64,
+    speedup: f64,
+) -> PaperRow {
+    PaperRow {
+        network,
+        variant,
+        imagenet_accuracy,
+        macs_millions,
+        params_millions,
+        speedup,
+    }
+}
+
+/// Looks up a published row.
+pub fn lookup(network: &str, variant: Variant) -> Option<&'static PaperRow> {
+    TABLE1
+        .iter()
+        .find(|r| r.network == network && r.variant == variant)
+}
+
+/// The paper's hardware overhead measurements at 32×32 (§V-B-5), in
+/// percent: `(area, power)`.
+pub const HW_OVERHEAD_32X32: (f64, f64) = (4.35, 2.25);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_five_networks_five_variants() {
+        assert_eq!(TABLE1.len(), 25);
+        for v in Variant::ALL {
+            assert_eq!(TABLE1.iter().filter(|r| r.variant == v).count(), 5);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_rows() {
+        let r = lookup("MobileNet-V2", Variant::FuseHalf).unwrap();
+        assert!((r.speedup - 7.23).abs() < 1e-9);
+        assert!(lookup("MobileNet-V2", Variant::Baseline).is_some());
+        assert!(lookup("nonexistent", Variant::Baseline).is_none());
+    }
+
+    #[test]
+    fn baselines_have_unit_speedup() {
+        for r in TABLE1.iter().filter(|r| r.variant == Variant::Baseline) {
+            assert_eq!(r.speedup, 1.0);
+        }
+    }
+
+    #[test]
+    fn half_speedups_exceed_full_speedups() {
+        for net in [
+            "MobileNet-V1",
+            "MobileNet-V2",
+            "MnasNet-B1",
+            "MobileNet-V3-Small",
+            "MobileNet-V3-Large",
+        ] {
+            let full = lookup(net, Variant::FuseFull).unwrap().speedup;
+            let half = lookup(net, Variant::FuseHalf).unwrap().speedup;
+            assert!(half > full, "{net}");
+        }
+    }
+}

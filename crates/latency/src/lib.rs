@@ -1,0 +1,55 @@
+//! SCALE-Sim-style analytical latency model for systolic arrays (§V-A-3).
+//!
+//! Following the paper's methodology, performance is assumed to be limited
+//! only by operations on the array: the model adds up the time to load
+//! values into the array, compute in the MACs, systolically communicate
+//! partials, and flush outputs. Off-chip memory is not modelled.
+//!
+//! Every operator descriptor ([`Op`](fuseconv_nn::ops::Op)) is lowered to a
+//! sequence of array folds:
+//!
+//! | operator | lowering | fold shape |
+//! |---|---|---|
+//! | standard conv | `im2col` GEMM | `M = OH·OW`, `K = k²·C_in`, `N = C_out` |
+//! | depthwise conv | per-channel `im2col` GEMM | `M = OH·OW`, `K = k²`, `N = 1` (×C folds — the single-column pathology of §III-B) |
+//! | pointwise conv | GEMM | `M = OH·OW`, `K = C_in`, `N = C_out` |
+//! | FuSe 1-D bank | row-broadcast dataflow | `#convs = C·out_lines`, `L_out`, `K` |
+//! | fully connected | GEMM | `M = 1`, `K = in`, `N = out` |
+//!
+//! The closed-form cycle counts come from
+//! [`fuseconv_systolic::gemm::analytic_cycles`] and
+//! [`fuseconv_systolic::conv1d::analytic_cycles`], which are validated
+//! against the cycle-level simulator; this crate therefore inherits exact
+//! agreement with simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fuseconv_latency::{estimate_network, LatencyModel};
+//! use fuseconv_models::zoo;
+//! use fuseconv_nn::FuSeVariant;
+//! use fuseconv_systolic::ArrayConfig;
+//!
+//! let model = LatencyModel::new(ArrayConfig::square(64)?.with_broadcast(true));
+//! let baseline = estimate_network(&model, &zoo::mobilenet_v1())?;
+//! let fused = estimate_network(
+//!     &model,
+//!     &zoo::mobilenet_v1().transform_all(FuSeVariant::Half),
+//! )?;
+//! assert!(fused.total_cycles < baseline.total_cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod memory;
+pub mod report;
+
+pub use map::{Dataflow, FoldOverlap, LatencyError, LatencyModel};
+pub use report::{
+    block_speedups, estimate_network, BlockLatency, ClassBreakdown, NetworkLatency, OpLatency,
+};

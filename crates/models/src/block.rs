@@ -1,0 +1,367 @@
+//! Network building blocks and their expansion into operator descriptors.
+
+use fuseconv_nn::ops::{Axis1d, Op};
+use fuseconv_nn::FuSeVariant;
+use std::fmt;
+
+/// The spatial filtering stage of a separable block: either the baseline
+/// `K×K` depthwise convolution or a FuSeConv replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialFilter {
+    /// Baseline `K×K` depthwise convolution.
+    Depthwise,
+    /// FuSeConv 1-D row/column filter banks (§IV-A).
+    Fuse(FuSeVariant),
+}
+
+impl fmt::Display for SpatialFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialFilter::Depthwise => f.write_str("depthwise"),
+            SpatialFilter::Fuse(v) => write!(f, "fuse-{v}"),
+        }
+    }
+}
+
+/// A depthwise-separable / inverted-residual block.
+///
+/// Covers MobileNet-V1's separable blocks (`exp_c == in_c`, no SE),
+/// MobileNet-V2/MnasNet inverted residuals (`exp_c = t·in_c`), and
+/// MobileNet-V3 bottlenecks (adds squeeze-and-excite). The block expands to:
+///
+/// 1. expand pointwise `in_c → exp_c` (omitted when `exp_c == in_c`),
+/// 2. the spatial filter (`K×K` depthwise, or FuSe row+column banks),
+/// 3. squeeze-and-excite FCs on the spatial output (when configured),
+/// 4. project pointwise `spatial_out → out_c`.
+///
+/// Under the Full FuSe variant the spatial output has `2·exp_c` channels,
+/// so the SE and projection widths grow accordingly — this is where the
+/// Full variant's extra parameters (Table I) come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeparableBlock {
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Expanded channels (`t·in_c`; equal to `in_c` when there is no
+    /// expansion stage).
+    pub exp_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Depthwise kernel extent.
+    pub k: usize,
+    /// Stride of the spatial stage.
+    pub stride: usize,
+    /// Squeeze-and-excite bottleneck divisor: `Some(d)` gives a bottleneck
+    /// of `spatial_out / d` features (MobileNet-V3 uses `d = 4`).
+    pub se_div: Option<usize>,
+    /// Which spatial filter the block currently uses.
+    pub filter: SpatialFilter,
+}
+
+impl SeparableBlock {
+    /// Output spatial extents after the strided spatial stage.
+    pub fn out_hw(&self) -> (usize, usize) {
+        let pad = self.k / 2;
+        (
+            (self.in_h + 2 * pad - self.k) / self.stride + 1,
+            (self.in_w + 2 * pad - self.k) / self.stride + 1,
+        )
+    }
+
+    /// Channels leaving the spatial stage (before projection): `exp_c` for
+    /// depthwise, `2·exp_c/D` for FuSe.
+    pub fn spatial_out_c(&self) -> usize {
+        match self.filter {
+            SpatialFilter::Depthwise => self.exp_c,
+            SpatialFilter::Fuse(v) => 2 * self.exp_c / v.d(),
+        }
+    }
+
+    /// Returns a copy with the spatial filter replaced by a FuSe bank.
+    #[must_use]
+    pub fn fused(mut self, variant: FuSeVariant) -> Self {
+        self.filter = SpatialFilter::Fuse(variant);
+        self
+    }
+
+    /// Expands the block into operator descriptors, in execution order.
+    pub fn ops(&self) -> Vec<Op> {
+        let mut ops = Vec::new();
+        if self.exp_c != self.in_c {
+            ops.push(Op::pointwise(self.in_h, self.in_w, self.in_c, self.exp_c));
+        }
+        let pad = self.k / 2;
+        match self.filter {
+            SpatialFilter::Depthwise => {
+                ops.push(Op::depthwise(
+                    self.in_h, self.in_w, self.exp_c, self.k, self.stride, pad,
+                ));
+            }
+            SpatialFilter::Fuse(v) => {
+                let per_bank = self.exp_c / v.d();
+                ops.push(Op::fuse1d(
+                    self.in_h,
+                    self.in_w,
+                    per_bank,
+                    self.k,
+                    self.stride,
+                    pad,
+                    Axis1d::Row,
+                ));
+                ops.push(Op::fuse1d(
+                    self.in_h,
+                    self.in_w,
+                    per_bank,
+                    self.k,
+                    self.stride,
+                    pad,
+                    Axis1d::Col,
+                ));
+            }
+        }
+        let (oh, ow) = self.out_hw();
+        let spatial_c = self.spatial_out_c();
+        if let Some(div) = self.se_div {
+            let reduced = (spatial_c / div).max(1);
+            ops.push(Op::fc(spatial_c, reduced));
+            ops.push(Op::fc(reduced, spatial_c));
+        }
+        ops.push(Op::pointwise(oh, ow, spatial_c, self.out_c));
+        ops
+    }
+}
+
+/// One stage of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Block {
+    /// A standard convolution (network stems).
+    Conv {
+        /// Input feature-map height.
+        in_h: usize,
+        /// Input feature-map width.
+        in_w: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel extent.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// A depthwise-separable / inverted-residual block.
+    Separable(SeparableBlock),
+    /// A `1×1` convolution head (e.g. the 1280-channel feature head).
+    Head {
+        /// Feature-map height.
+        in_h: usize,
+        /// Feature-map width.
+        in_w: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+    },
+    /// A fully-connected layer (after global pooling).
+    Fc {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl Block {
+    /// Whether the FuSe transformation applies to this block.
+    pub fn is_replaceable(&self) -> bool {
+        matches!(
+            self,
+            Block::Separable(SeparableBlock {
+                filter: SpatialFilter::Depthwise,
+                ..
+            })
+        )
+    }
+
+    /// Expands the block into operator descriptors.
+    pub fn ops(&self) -> Vec<Op> {
+        match *self {
+            Block::Conv {
+                in_h,
+                in_w,
+                in_c,
+                out_c,
+                k,
+                stride,
+            } => vec![Op::conv2d(in_h, in_w, in_c, out_c, k, stride, k / 2)],
+            Block::Separable(b) => b.ops(),
+            Block::Head {
+                in_h,
+                in_w,
+                in_c,
+                out_c,
+            } => vec![Op::pointwise(in_h, in_w, in_c, out_c)],
+            Block::Fc {
+                in_features,
+                out_features,
+            } => vec![Op::fc(in_features, out_features)],
+        }
+    }
+
+    /// Returns the FuSe-transformed copy of a separable block; other block
+    /// kinds are returned unchanged.
+    #[must_use]
+    pub fn fused(self, variant: FuSeVariant) -> Self {
+        match self {
+            Block::Separable(b) => Block::Separable(b.fused(variant)),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Block::Conv { out_c, k, stride, .. } => {
+                write!(f, "conv{k}x{k}-s{stride}-{out_c}")
+            }
+            Block::Separable(b) => write!(
+                f,
+                "{}-k{}-s{}-e{}-o{}",
+                b.filter, b.k, b.stride, b.exp_c, b.out_c
+            ),
+            Block::Head { out_c, .. } => write!(f, "head-{out_c}"),
+            Block::Fc { out_features, .. } => write!(f, "fc-{out_features}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1_block() -> SeparableBlock {
+        SeparableBlock {
+            in_h: 56,
+            in_w: 56,
+            in_c: 128,
+            exp_c: 128,
+            out_c: 256,
+            k: 3,
+            stride: 2,
+            se_div: None,
+            filter: SpatialFilter::Depthwise,
+        }
+    }
+
+    #[test]
+    fn v1_style_block_has_no_expansion() {
+        let ops = v1_block().ops();
+        assert_eq!(ops.len(), 2); // depthwise + project
+        assert_eq!(ops[0].macs(), 28 * 28 * 128 * 9);
+        assert_eq!(ops[1].macs(), 28 * 28 * 128 * 256);
+    }
+
+    #[test]
+    fn inverted_residual_has_expansion() {
+        let b = SeparableBlock {
+            in_h: 28,
+            in_w: 28,
+            in_c: 32,
+            exp_c: 192,
+            out_c: 64,
+            k: 3,
+            stride: 2,
+            se_div: None,
+            filter: SpatialFilter::Depthwise,
+        };
+        let ops = b.ops();
+        assert_eq!(ops.len(), 3); // expand + dw + project
+        assert_eq!(ops[0].macs(), 28 * 28 * 32 * 192);
+        assert_eq!(ops[2].macs(), 14 * 14 * 192 * 64);
+    }
+
+    #[test]
+    fn se_adds_two_fcs_on_spatial_output() {
+        let b = SeparableBlock {
+            se_div: Some(4),
+            ..v1_block()
+        };
+        let ops = b.ops();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[1].macs(), 128 * 32); // squeeze
+        assert_eq!(ops[2].macs(), 32 * 128); // excite
+    }
+
+    #[test]
+    fn full_fuse_doubles_projection_and_se_width() {
+        let base = SeparableBlock {
+            se_div: Some(4),
+            ..v1_block()
+        };
+        let fused = base.fused(FuSeVariant::Full);
+        assert_eq!(fused.spatial_out_c(), 256);
+        let ops = fused.ops();
+        // row + col + 2 SE FCs + project
+        assert_eq!(ops.len(), 5);
+        assert_eq!(ops[2].macs(), 256 * 64); // SE squeeze on 2C
+        assert_eq!(ops[4].macs(), 28 * 28 * 256 * 256); // project from 2C
+    }
+
+    #[test]
+    fn half_fuse_preserves_widths() {
+        let fused = v1_block().fused(FuSeVariant::Half);
+        assert_eq!(fused.spatial_out_c(), 128);
+        let ops = fused.ops();
+        assert_eq!(ops.len(), 3);
+        // Row and col banks each on C/2 channels.
+        assert_eq!(ops[0].macs(), 28 * 28 * 64 * 3);
+        assert_eq!(ops[1].macs(), 28 * 28 * 64 * 3);
+        assert_eq!(ops[2].macs(), 28 * 28 * 128 * 256);
+    }
+
+    #[test]
+    fn fuse_preserves_block_output_shape() {
+        for variant in [FuSeVariant::Full, FuSeVariant::Half] {
+            let base = v1_block();
+            let fused = base.fused(variant);
+            assert_eq!(base.out_hw(), fused.out_hw());
+            let (bh, bw, bc) = base.ops().last().unwrap().output_shape();
+            let (fh, fw, fc) = fused.ops().last().unwrap().output_shape();
+            assert_eq!((bh, bw, bc), (fh, fw, fc));
+        }
+    }
+
+    #[test]
+    fn replaceability() {
+        let sep = Block::Separable(v1_block());
+        assert!(sep.is_replaceable());
+        assert!(!sep.fused(FuSeVariant::Half).is_replaceable());
+        let conv = Block::Conv {
+            in_h: 224,
+            in_w: 224,
+            in_c: 3,
+            out_c: 32,
+            k: 3,
+            stride: 2,
+        };
+        assert!(!conv.is_replaceable());
+        assert!(!Block::Fc {
+            in_features: 1024,
+            out_features: 1000
+        }
+        .is_replaceable());
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(Block::Separable(v1_block()).to_string(), "depthwise-k3-s2-e128-o256");
+        assert_eq!(
+            Block::Separable(v1_block().fused(FuSeVariant::Full)).to_string(),
+            "fuse-full-k3-s2-e128-o256"
+        );
+    }
+}

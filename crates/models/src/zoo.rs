@@ -1,0 +1,558 @@
+//! The five baseline networks of §V-A-1, transcribed from their published
+//! layer tables at 224×224 input resolution.
+//!
+//! MAC totals are validated in tests against the ballpark figures in the
+//! paper's Table I (which include squeeze-and-excite and classifier
+//! layers); exact parity with Table I is not expected because framework
+//! summaries differ in what they count, but every figure lands within a few
+//! percent.
+
+use crate::block::{Block, SeparableBlock, SpatialFilter};
+use crate::network::Network;
+
+/// Incrementally tracks feature-map geometry while stacking blocks.
+struct Builder {
+    h: usize,
+    w: usize,
+    c: usize,
+    blocks: Vec<(String, Block)>,
+}
+
+impl Builder {
+    fn new(input: usize) -> Self {
+        Builder {
+            h: input,
+            w: input,
+            c: 3, // RGB input
+            blocks: Vec::new(),
+        }
+    }
+
+    fn conv(&mut self, out_c: usize, k: usize, stride: usize) {
+        let name = format!("conv{}", self.blocks.len());
+        self.blocks.push((
+            name,
+            Block::Conv {
+                in_h: self.h,
+                in_w: self.w,
+                in_c: self.c,
+                out_c,
+                k,
+                stride,
+            },
+        ));
+        let pad = k / 2;
+        self.h = (self.h + 2 * pad - k) / stride + 1;
+        self.w = (self.w + 2 * pad - k) / stride + 1;
+        self.c = out_c;
+    }
+
+    /// A separable / inverted-residual block with expansion factor `t`
+    /// (`exp_c = t · in_c`), kernel `k`, stride and optional SE divisor.
+    fn bneck(&mut self, t: usize, out_c: usize, k: usize, stride: usize, se_div: Option<usize>) {
+        self.bneck_exp(t * self.c, out_c, k, stride, se_div);
+    }
+
+    /// Same as [`Builder::bneck`] but with an explicit expanded width
+    /// (MobileNet-V3's tables list absolute expansion sizes).
+    fn bneck_exp(
+        &mut self,
+        exp_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        se_div: Option<usize>,
+    ) {
+        let name = format!("bneck{}", self.blocks.len());
+        let block = SeparableBlock {
+            in_h: self.h,
+            in_w: self.w,
+            in_c: self.c,
+            exp_c,
+            out_c,
+            k,
+            stride,
+            se_div,
+            filter: SpatialFilter::Depthwise,
+        };
+        let (oh, ow) = block.out_hw();
+        self.blocks.push((name, Block::Separable(block)));
+        self.h = oh;
+        self.w = ow;
+        self.c = out_c;
+    }
+
+    fn head(&mut self, out_c: usize) {
+        let name = format!("head{}", self.blocks.len());
+        self.blocks.push((
+            name,
+            Block::Head {
+                in_h: self.h,
+                in_w: self.w,
+                in_c: self.c,
+                out_c,
+            },
+        ));
+        self.c = out_c;
+    }
+
+    fn fc(&mut self, out_features: usize) {
+        let name = format!("fc{}", self.blocks.len());
+        self.blocks.push((
+            name,
+            Block::Fc {
+                in_features: self.c,
+                out_features,
+            },
+        ));
+        self.c = out_features;
+    }
+
+    /// Records a convolution on the *current* input geometry without
+    /// advancing it — a parallel branch such as a residual projection
+    /// shortcut. The main path continues from the same input.
+    fn branch_conv(&mut self, out_c: usize, k: usize, stride: usize) {
+        let name = format!("shortcut{}", self.blocks.len());
+        self.blocks.push((
+            name,
+            Block::Conv {
+                in_h: self.h,
+                in_w: self.w,
+                in_c: self.c,
+                out_c,
+                k,
+                stride,
+            },
+        ));
+    }
+
+    /// Overrides the tracked resolution (used to fold in pooling layers,
+    /// which cost no array cycles).
+    fn set_resolution(&mut self, h: usize, w: usize) {
+        self.h = h;
+        self.w = w;
+    }
+
+    fn build(self, name: &str) -> Network {
+        Network::new(name, self.blocks)
+    }
+}
+
+/// MobileNet-V1 (Howard et al., 2017): a stem followed by 13 depthwise
+/// separable blocks and a 1024→1000 classifier.
+pub fn mobilenet_v1() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(32, 3, 2);
+    // (out_c, stride) pairs of the 13 separable blocks.
+    let table = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (out_c, stride) in table {
+        b.bneck(1, out_c, 3, stride, None);
+    }
+    b.fc(1000);
+    b.build("MobileNet-V1")
+}
+
+/// MobileNet-V2 (Sandler et al., 2018): inverted residuals with expansion 6
+/// (first block 1), a 1280-channel head and classifier.
+pub fn mobilenet_v2() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(32, 3, 2);
+    // (t, out_c, repeats, first-stride) rows of Table 2 in the V2 paper.
+    let rows = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (t, out_c, n, s) in rows {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            b.bneck(t, out_c, 3, stride, None);
+        }
+    }
+    b.head(1280);
+    b.fc(1000);
+    b.build("MobileNet-V2")
+}
+
+/// MobileNet-V3 Large (Howard et al., 2019): bottlenecks with mixed 3×3 and
+/// 5×5 kernels, squeeze-and-excite on selected rows, 960→1280→1000 head.
+pub fn mobilenet_v3_large() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(16, 3, 2);
+    // (k, exp, out, se, stride) rows of Table 1 in the V3 paper.
+    let rows: [(usize, usize, usize, bool, usize); 15] = [
+        (3, 16, 16, false, 1),
+        (3, 64, 24, false, 2),
+        (3, 72, 24, false, 1),
+        (5, 72, 40, true, 2),
+        (5, 120, 40, true, 1),
+        (5, 120, 40, true, 1),
+        (3, 240, 80, false, 2),
+        (3, 200, 80, false, 1),
+        (3, 184, 80, false, 1),
+        (3, 184, 80, false, 1),
+        (3, 480, 112, true, 1),
+        (3, 672, 112, true, 1),
+        (5, 672, 160, true, 2),
+        (5, 960, 160, true, 1),
+        (5, 960, 160, true, 1),
+    ];
+    for (k, exp, out, se, stride) in rows {
+        b.bneck_exp(exp, out, k, stride, se.then_some(4));
+    }
+    b.head(960);
+    b.fc(1280);
+    b.fc(1000);
+    b.build("MobileNet-V3-Large")
+}
+
+/// MobileNet-V3 Small (Howard et al., 2019).
+pub fn mobilenet_v3_small() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(16, 3, 2);
+    // (k, exp, out, se, stride) rows of Table 2 in the V3 paper.
+    let rows: [(usize, usize, usize, bool, usize); 11] = [
+        (3, 16, 16, true, 2),
+        (3, 72, 24, false, 2),
+        (3, 88, 24, false, 1),
+        (5, 96, 40, true, 2),
+        (5, 240, 40, true, 1),
+        (5, 240, 40, true, 1),
+        (5, 120, 48, true, 1),
+        (5, 144, 48, true, 1),
+        (5, 288, 96, true, 2),
+        (5, 576, 96, true, 1),
+        (5, 576, 96, true, 1),
+    ];
+    for (k, exp, out, se, stride) in rows {
+        b.bneck_exp(exp, out, k, stride, se.then_some(4));
+    }
+    b.head(576);
+    b.fc(1024);
+    b.fc(1000);
+    b.build("MobileNet-V3-Small")
+}
+
+/// MnasNet-B1 (Tan et al., 2019): the SE-free searched baseline with mixed
+/// 3×3/5×5 kernels.
+pub fn mnasnet_b1() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(32, 3, 2);
+    // SepConv block: depthwise 3x3 + project to 16 (no expansion).
+    b.bneck(1, 16, 3, 1, None);
+    // (t, out_c, k, repeats, first-stride) rows of the MnasNet-B1 figure.
+    let rows = [
+        (3, 24, 3, 3, 2),
+        (3, 40, 5, 3, 2),
+        (6, 80, 5, 3, 2),
+        (6, 96, 3, 2, 1),
+        (6, 192, 5, 4, 2),
+        (6, 320, 3, 1, 1),
+    ];
+    for (t, out_c, k, n, s) in rows {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            b.bneck(t, out_c, k, stride, None);
+        }
+    }
+    b.head(1280);
+    b.fc(1000);
+    b.build("MnasNet-B1")
+}
+
+/// ResNet-50 (He et al., 2016), bottleneck form — not in Table I, but the
+/// yardstick of the paper's §I motivating claim: "MobileNet-V2 has 12×
+/// fewer computations than ResNet-50, but runs only 1.3× faster on a
+/// systolic array with MACs arranged in a 32×32 array". It is built from
+/// standard convolutions only, which map efficiently onto the array; the
+/// claim is reproduced by `fuseconv-core`'s `intro_claim` experiment.
+pub fn resnet50() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(64, 7, 2);
+    // The 3x3/2 max-pool costs no array cycles; fold it into the entry
+    // resolution of the first stage.
+    b.set_resolution(56, 56);
+    // (mid_c, out_c, blocks, first-stride) per stage.
+    let stages = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
+    for (mid, out, n, s) in stages {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            if i == 0 {
+                // Projection shortcut: strided 1x1 on the block input.
+                b.branch_conv(out, 1, stride);
+            }
+            // Bottleneck main path: 1x1 reduce, 3x3 (strided), 1x1 expand.
+            b.conv(mid, 1, 1);
+            b.conv(mid, 3, stride);
+            b.conv(out, 1, 1);
+        }
+    }
+    b.fc(1000);
+    b.build("ResNet-50")
+}
+
+/// EfficientNet-B0 (Tan & Le, 2019) — not in Table I, but the network
+/// whose poor EdgeTPU scaling the paper cites as prior evidence of the
+/// depthwise/systolic mismatch (§I, ref. \[7\]). MBConv blocks with
+/// squeeze-and-excite; SE bottlenecks are `in_c/4` wide, approximated here
+/// by a divisor on the expanded width (`exp/24` for the t=6 blocks,
+/// `exp/4` for the t=1 stem block — identical widths, different bases).
+pub fn efficientnet_b0() -> Network {
+    let mut b = Builder::new(224);
+    b.conv(32, 3, 2);
+    // (t, out_c, k, repeats, first-stride, se_div) rows.
+    b.bneck(1, 16, 3, 1, Some(4));
+    let rows = [
+        (6, 24, 3, 2, 2),
+        (6, 40, 5, 2, 2),
+        (6, 80, 3, 3, 2),
+        (6, 112, 5, 3, 1),
+        (6, 192, 5, 4, 2),
+        (6, 320, 3, 1, 1),
+    ];
+    for (t, out_c, k, n, s) in rows {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            b.bneck(t, out_c, k, stride, Some(24));
+        }
+    }
+    b.head(1280);
+    b.fc(1000);
+    b.build("EfficientNet-B0")
+}
+
+/// All five baselines, in the order of Table I.
+pub fn all_baselines() -> Vec<Network> {
+    vec![
+        mobilenet_v1(),
+        mobilenet_v2(),
+        mnasnet_b1(),
+        mobilenet_v3_small(),
+        mobilenet_v3_large(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_nn::FuSeVariant;
+
+    /// Published MAC counts (millions) for 224×224 single-crop inference;
+    /// our analytic counts must land within 10% (differences come from
+    /// counting conventions for SE, head and classifier layers).
+    #[test]
+    fn mac_counts_near_published_figures() {
+        let cases: [(Network, f64); 5] = [
+            (mobilenet_v1(), 569.0),
+            (mobilenet_v2(), 300.0),
+            (mnasnet_b1(), 315.0),
+            (mobilenet_v3_small(), 56.0),
+            (mobilenet_v3_large(), 219.0),
+        ];
+        for (net, published) in cases {
+            let got = net.summary().macs_millions();
+            let rel = (got - published).abs() / published;
+            assert!(
+                rel < 0.10,
+                "{}: computed {got:.1}M vs published {published}M ({:.1}% off)",
+                net.name(),
+                rel * 100.0
+            );
+        }
+    }
+
+    /// Published parameter counts (millions); weight-only counting lands
+    /// within 15% (biases/BN excluded).
+    #[test]
+    fn param_counts_near_published_figures() {
+        let cases: [(Network, f64); 5] = [
+            (mobilenet_v1(), 4.23),
+            (mobilenet_v2(), 3.50),
+            (mnasnet_b1(), 4.38),
+            (mobilenet_v3_small(), 2.54),
+            (mobilenet_v3_large(), 5.48),
+        ];
+        for (net, published) in cases {
+            let got = net.summary().params_millions();
+            let rel = (got - published).abs() / published;
+            assert!(
+                rel < 0.15,
+                "{}: computed {got:.2}M vs published {published}M ({:.1}% off)",
+                net.name(),
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn v1_has_thirteen_separable_blocks() {
+        assert_eq!(mobilenet_v1().replaceable_indices().len(), 13);
+    }
+
+    #[test]
+    fn v2_has_seventeen_separable_blocks() {
+        assert_eq!(mobilenet_v2().replaceable_indices().len(), 17);
+    }
+
+    #[test]
+    fn v3_block_counts() {
+        assert_eq!(mobilenet_v3_large().replaceable_indices().len(), 15);
+        assert_eq!(mobilenet_v3_small().replaceable_indices().len(), 11);
+    }
+
+    #[test]
+    fn mnasnet_block_count() {
+        assert_eq!(mnasnet_b1().replaceable_indices().len(), 1 + 3 + 3 + 3 + 2 + 4 + 1);
+    }
+
+    /// Table I direction checks: Full variants gain MACs and params over
+    /// baseline; Half variants shed a little of both.
+    #[test]
+    fn fuse_variants_move_macs_in_paper_direction() {
+        for net in all_baselines() {
+            let base = net.summary();
+            let full = net.transform_all(FuSeVariant::Full).summary();
+            let half = net.transform_all(FuSeVariant::Half).summary();
+            assert!(full.macs > base.macs, "{} full MACs", net.name());
+            assert!(full.params > base.params, "{} full params", net.name());
+            assert!(half.macs < base.macs, "{} half MACs", net.name());
+            assert!(half.params < base.params, "{} half params", net.name());
+        }
+    }
+
+    /// Table I magnitude check for MobileNet-V1: Full ≈ 1122M MACs / 7.36M
+    /// params (paper), i.e. roughly 1.9× baseline MACs.
+    #[test]
+    fn v1_full_variant_magnitude() {
+        let net = mobilenet_v1();
+        let base = net.summary();
+        let full = net.transform_all(FuSeVariant::Full).summary();
+        let ratio = full.macs as f64 / base.macs as f64;
+        assert!(
+            (1.6..=2.1).contains(&ratio),
+            "full/base MAC ratio {ratio:.2} out of range"
+        );
+        let pratio = full.params as f64 / base.params as f64;
+        assert!(
+            (1.5..=1.9).contains(&pratio),
+            "full/base param ratio {pratio:.2} out of range"
+        );
+    }
+
+    /// The final feature resolution of every network must be 7x7 before
+    /// pooling — a structural sanity check of the stride bookkeeping.
+    #[test]
+    fn final_resolution_is_7x7() {
+        for net in all_baselines() {
+            let last_conv_op = net
+                .ops()
+                .into_iter()
+                .rfind(|n| !matches!(n.op, fuseconv_nn::ops::Op::Fc { .. }))
+                .unwrap();
+            let (h, w, _) = last_conv_op.op.output_shape();
+            assert_eq!((h, w), (7, 7), "{}", net.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod resnet_tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_mac_count_near_published() {
+        // Published: ~4.1 GMACs at 224x224 (counting conventions vary by a
+        // few percent).
+        let net = resnet50();
+        let macs = net.summary().macs_millions();
+        assert!(
+            (3500.0..4500.0).contains(&macs),
+            "ResNet-50 MACs {macs:.0}M out of range"
+        );
+    }
+
+    #[test]
+    fn resnet50_param_count_near_published() {
+        let net = resnet50();
+        let params = net.summary().params_millions();
+        // ~25.5M published; weight-only counting lands close.
+        assert!(
+            (23.0..27.0).contains(&params),
+            "ResNet-50 params {params:.1}M out of range"
+        );
+    }
+
+    #[test]
+    fn resnet50_has_no_replaceable_blocks() {
+        // Standard convolutions only: the FuSe transform is a no-op.
+        let net = resnet50();
+        assert!(net.replaceable_indices().is_empty());
+        let same = net.transform_all(fuseconv_nn::FuSeVariant::Half);
+        assert_eq!(same.macs(), net.macs());
+    }
+
+    #[test]
+    fn resnet50_final_resolution_is_7x7() {
+        let last_conv = resnet50()
+            .ops()
+            .into_iter()
+            .rfind(|n| !matches!(n.op, fuseconv_nn::ops::Op::Fc { .. }))
+            .unwrap();
+        let (h, w, c) = last_conv.op.output_shape();
+        assert_eq!((h, w, c), (7, 7, 2048));
+    }
+}
+
+#[cfg(test)]
+mod efficientnet_tests {
+    use super::*;
+    use fuseconv_nn::FuSeVariant;
+
+    #[test]
+    fn efficientnet_b0_counts_near_published() {
+        let net = efficientnet_b0();
+        let s = net.summary();
+        // Published: ~390M MACs, ~5.3M params at 224x224.
+        assert!(
+            (350.0..430.0).contains(&s.macs_millions()),
+            "MACs {:.0}M",
+            s.macs_millions()
+        );
+        assert!(
+            (4.6..5.8).contains(&s.params_millions()),
+            "params {:.2}M",
+            s.params_millions()
+        );
+    }
+
+    #[test]
+    fn efficientnet_b0_structure() {
+        let net = efficientnet_b0();
+        assert_eq!(net.replaceable_indices().len(), 1 + 2 + 2 + 3 + 3 + 4 + 1);
+        let fused = net.transform_all(FuSeVariant::Half);
+        assert!(fused.macs() < net.macs());
+    }
+}

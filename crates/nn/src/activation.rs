@@ -1,0 +1,163 @@
+//! Activation functions used by the paper's networks.
+//!
+//! MobileNet-V1/V2 use ReLU/ReLU6; MobileNet-V3 and MnasNet use h-swish and
+//! h-sigmoid in places (the latter inside squeeze-and-excite blocks).
+
+use fuseconv_tensor::Tensor;
+
+/// Identifies an activation function; carried in layer descriptors so the
+/// functional layers and the trainer agree on nonlinearities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity (no activation).
+    #[default]
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// `min(max(0, x), 6)`.
+    Relu6,
+    /// `x · relu6(x + 3) / 6` (MobileNet-V3's h-swish).
+    HSwish,
+    /// `relu6(x + 3) / 6` (hard sigmoid).
+    HSigmoid,
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply_scalar(&self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Relu6 => x.clamp(0.0, 6.0),
+            Activation::HSwish => x * (x + 3.0).clamp(0.0, 6.0) / 6.0,
+            Activation::HSigmoid => (x + 3.0).clamp(0.0, 6.0) / 6.0,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Applies the activation element-wise.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.apply_scalar(v))
+    }
+
+    /// Derivative with respect to the pre-activation input, evaluated at
+    /// `x`. Used by the trainer's backward passes. At the (measure-zero)
+    /// kink points the subgradient 0 is returned.
+    pub fn derivative_scalar(&self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Relu6 => {
+                if x > 0.0 && x < 6.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::HSwish => {
+                if x <= -3.0 {
+                    0.0
+                } else if x >= 3.0 {
+                    1.0
+                } else {
+                    (2.0 * x + 3.0) / 6.0
+                }
+            }
+            Activation::HSigmoid => {
+                if x > -3.0 && x < 3.0 {
+                    1.0 / 6.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply_scalar(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 6] = [
+        Activation::Linear,
+        Activation::Relu,
+        Activation::Relu6,
+        Activation::HSwish,
+        Activation::HSigmoid,
+        Activation::Sigmoid,
+    ];
+
+    #[test]
+    fn relu_family_values() {
+        assert_eq!(Activation::Relu.apply_scalar(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply_scalar(2.5), 2.5);
+        assert_eq!(Activation::Relu6.apply_scalar(7.0), 6.0);
+        assert_eq!(Activation::Relu6.apply_scalar(3.0), 3.0);
+    }
+
+    #[test]
+    fn hswish_matches_definition() {
+        for &x in &[-4.0f32, -3.0, -1.0, 0.0, 1.0, 3.0, 5.0] {
+            let expect = x * ((x + 3.0).clamp(0.0, 6.0)) / 6.0;
+            assert!((Activation::HSwish.apply_scalar(x) - expect).abs() < 1e-6);
+        }
+        // Saturations.
+        assert_eq!(Activation::HSwish.apply_scalar(-5.0), 0.0);
+        assert_eq!(Activation::HSwish.apply_scalar(10.0), 10.0);
+    }
+
+    #[test]
+    fn hsigmoid_bounds() {
+        assert_eq!(Activation::HSigmoid.apply_scalar(-10.0), 0.0);
+        assert_eq!(Activation::HSigmoid.apply_scalar(10.0), 1.0);
+        assert!((Activation::HSigmoid.apply_scalar(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply_scalar(0.0) - 0.5).abs() < 1e-6);
+        assert!((s.apply_scalar(2.0) + s.apply_scalar(-2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        // Probe away from kinks, where the analytic derivative must agree.
+        for act in ACTS {
+            for &x in &[-4.0f32, -1.7, -0.4, 0.6, 1.9, 4.2] {
+                let fd =
+                    (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
+                let an = act.derivative_scalar(x);
+                assert!(
+                    (fd - an).abs() < 1e-2,
+                    "{act:?} at {x}: fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_is_elementwise() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 7.0], &[3]).unwrap();
+        let r = Activation::Relu6.apply(&t);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn default_is_linear() {
+        assert_eq!(Activation::default(), Activation::Linear);
+    }
+}

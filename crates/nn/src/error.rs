@@ -1,0 +1,88 @@
+//! Error type for layer construction and forward passes.
+
+use fuseconv_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by layer constructors and forward passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape mismatch, bad index…).
+    Tensor(TensorError),
+    /// A layer was configured with inconsistent hyper-parameters.
+    BadConfig {
+        /// What was wrong.
+        what: String,
+    },
+    /// A forward pass received an input whose shape does not match the
+    /// layer's expectation.
+    BadInput {
+        /// The layer that rejected the input.
+        layer: &'static str,
+        /// Expected shape description.
+        expected: String,
+        /// Received shape.
+        actual: Vec<usize>,
+    },
+}
+
+impl NnError {
+    /// Convenience constructor for configuration errors.
+    pub fn bad_config(what: impl Into<String>) -> Self {
+        NnError::BadConfig { what: what.into() }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadConfig { what } => write!(f, "invalid layer configuration: {what}"),
+            NnError::BadInput {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{layer} expected input {expected}, got {actual:?}"
+            ),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = NnError::from(TensorError::ZeroStride);
+        assert!(e.to_string().contains("stride"));
+        assert!(e.source().is_some());
+        let e = NnError::bad_config("kernel must be odd");
+        assert!(e.to_string().contains("kernel must be odd"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync>() {}
+        assert_traits::<NnError>();
+    }
+}

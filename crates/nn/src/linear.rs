@@ -1,0 +1,80 @@
+//! Fully-connected (linear) layers.
+
+use crate::NnError;
+use fuseconv_tensor::Tensor;
+
+/// Applies a fully-connected layer: `y = W·x + b`.
+///
+/// `input` is `[in_features]`, `weight` is `[out_features, in_features]`,
+/// `bias` (optional) is `[out_features]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] for rank/shape mismatches.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, NnError> {
+    let id = input.shape().dims();
+    let wd = weight.shape().dims();
+    if id.len() != 1 {
+        return Err(NnError::BadInput {
+            layer: "linear",
+            expected: "[in_features]".into(),
+            actual: id.to_vec(),
+        });
+    }
+    if wd.len() != 2 || wd[1] != id[0] {
+        return Err(NnError::BadInput {
+            layer: "linear weight",
+            expected: format!("[out_features, {}]", id[0]),
+            actual: wd.to_vec(),
+        });
+    }
+    let (o, n) = (wd[0], wd[1]);
+    if let Some(b) = bias {
+        if b.shape().dims() != [o] {
+            return Err(NnError::BadInput {
+                layer: "linear bias",
+                expected: format!("[{o}]"),
+                actual: b.shape().dims().to_vec(),
+            });
+        }
+    }
+    let iv = input.as_slice();
+    let wv = weight.as_slice();
+    let mut out = vec![0.0f32; o];
+    for (oc, slot) in out.iter_mut().enumerate() {
+        let row = &wv[oc * n..(oc + 1) * n];
+        *slot = row.iter().zip(iv).map(|(w, x)| w * x).sum();
+        if let Some(b) = bias {
+            *slot += b.as_slice()[oc];
+        }
+    }
+    Ok(Tensor::from_vec(out, &[o])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_affine_map() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5, 0.0], &[3]).unwrap();
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.as_slice(), &[1.5, 1.5, 3.0]);
+        let y = linear(&x, &w, None).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let x = Tensor::zeros(&[2]).unwrap();
+        let w = Tensor::zeros(&[3, 4]).unwrap();
+        assert!(linear(&x, &w, None).is_err());
+        let w = Tensor::zeros(&[3, 2]).unwrap();
+        let bad_b = Tensor::zeros(&[4]).unwrap();
+        assert!(linear(&x, &w, Some(&bad_b)).is_err());
+        let mat = Tensor::zeros(&[2, 2]).unwrap();
+        assert!(linear(&mat, &w, None).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Batch normalization, inference form.
+//!
+//! At inference time batch norm is the per-channel affine map
+//! `y = γ·(x − μ)/√(σ² + ε) + β`, which folds into a scale and shift. Only
+//! that folded form is needed here; training-time statistics live in
+//! `fuseconv-train`.
+
+use crate::NnError;
+use fuseconv_tensor::Tensor;
+
+/// Folded per-channel batch-norm parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Builds the folded form from learned statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the four parameter vectors have
+    /// differing lengths, are empty, or `eps <= 0`.
+    pub fn from_stats(
+        gamma: &[f32],
+        beta: &[f32],
+        mean: &[f32],
+        var: &[f32],
+        eps: f32,
+    ) -> Result<Self, NnError> {
+        let c = gamma.len();
+        if c == 0 || beta.len() != c || mean.len() != c || var.len() != c {
+            return Err(NnError::bad_config(
+                "batch-norm parameter vectors must be nonempty and equal length",
+            ));
+        }
+        if eps <= 0.0 {
+            return Err(NnError::bad_config("batch-norm eps must be positive"));
+        }
+        let mut scale = Vec::with_capacity(c);
+        let mut shift = Vec::with_capacity(c);
+        for i in 0..c {
+            let s = gamma[i] / (var[i] + eps).sqrt();
+            scale.push(s);
+            shift.push(beta[i] - mean[i] * s);
+        }
+        Ok(BatchNorm { scale, shift })
+    }
+
+    /// Identity normalization over `c` channels (useful in tests and as a
+    /// starting point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `c == 0`.
+    pub fn identity(c: usize) -> Result<Self, NnError> {
+        if c == 0 {
+            return Err(NnError::bad_config("channel count must be nonzero"));
+        }
+        Ok(BatchNorm {
+            scale: vec![1.0; c],
+            shift: vec![0.0; c],
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Applies the folded normalization to a `[C, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] unless the input is rank-3 with the
+    /// right channel count.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let d = input.shape().dims();
+        if d.len() != 3 || d[0] != self.channels() {
+            return Err(NnError::BadInput {
+                layer: "batch_norm",
+                expected: format!("[{}, H, W]", self.channels()),
+                actual: d.to_vec(),
+            });
+        }
+        let plane = d[1] * d[2];
+        let mut out = input.as_slice().to_vec();
+        for ch in 0..d[0] {
+            let (s, b) = (self.scale[ch], self.shift[ch]);
+            for v in &mut out[ch * plane..(ch + 1) * plane] {
+                *v = *v * s + b;
+            }
+        }
+        Ok(Tensor::from_vec(out, d)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_preserves_input() {
+        let bn = BatchNorm::identity(2).unwrap();
+        let t = Tensor::from_fn(&[2, 2, 2], |ix| ix[2] as f32).unwrap();
+        assert_eq!(bn.forward(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn folded_form_matches_definition() {
+        let bn = BatchNorm::from_stats(&[2.0], &[1.0], &[3.0], &[4.0], 1e-5).unwrap();
+        let t = Tensor::from_vec(vec![5.0], &[1, 1, 1]).unwrap();
+        let y = bn.forward(&t).unwrap();
+        let expect = 2.0 * (5.0 - 3.0) / (4.0f32 + 1e-5).sqrt() + 1.0;
+        assert!((y.as_slice()[0] - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalizes_to_unit_stats() {
+        // With gamma=1, beta=0 the folded map standardizes its own stats.
+        let data: Vec<f32> = (0..8).map(|x| x as f32).collect();
+        let mean = data.iter().sum::<f32>() / 8.0;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 8.0;
+        let bn = BatchNorm::from_stats(&[1.0], &[0.0], &[mean], &[var], 1e-8).unwrap();
+        let t = Tensor::from_vec(data, &[1, 2, 4]).unwrap();
+        let y = bn.forward(&t).unwrap();
+        let m: f32 = y.as_slice().iter().sum::<f32>() / 8.0;
+        let v: f32 = y.as_slice().iter().map(|x| (x - m).powi(2)).sum::<f32>() / 8.0;
+        assert!(m.abs() < 1e-4);
+        assert!((v - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BatchNorm::from_stats(&[1.0], &[0.0, 0.0], &[0.0], &[1.0], 1e-5).is_err());
+        assert!(BatchNorm::from_stats(&[], &[], &[], &[], 1e-5).is_err());
+        assert!(BatchNorm::from_stats(&[1.0], &[0.0], &[0.0], &[1.0], 0.0).is_err());
+        assert!(BatchNorm::identity(0).is_err());
+        let bn = BatchNorm::identity(3).unwrap();
+        assert!(bn.forward(&Tensor::zeros(&[2, 2, 2]).unwrap()).is_err());
+    }
+}

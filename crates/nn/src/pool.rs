@@ -1,0 +1,110 @@
+//! Pooling operations.
+
+use crate::NnError;
+use fuseconv_tensor::Tensor;
+
+/// Global average pooling: `[C, H, W]` → `[C]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] unless the input is rank-3.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor, NnError> {
+    let d = input.shape().dims();
+    if d.len() != 3 {
+        return Err(NnError::BadInput {
+            layer: "global_avg_pool",
+            expected: "[C, H, W]".into(),
+            actual: d.to_vec(),
+        });
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let plane = h * w;
+    let iv = input.as_slice();
+    let out: Vec<f32> = (0..c)
+        .map(|ch| iv[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32)
+        .collect();
+    Ok(Tensor::from_vec(out, &[c])?)
+}
+
+/// Non-overlapping average pooling with a square `k×k` window and stride
+/// `k`: `[C, H, W]` → `[C, H/k, W/k]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] unless the input is rank-3, and
+/// [`NnError::BadConfig`] unless `k` divides both spatial extents.
+pub fn avg_pool(input: &Tensor, k: usize) -> Result<Tensor, NnError> {
+    let d = input.shape().dims();
+    if d.len() != 3 {
+        return Err(NnError::BadInput {
+            layer: "avg_pool",
+            expected: "[C, H, W]".into(),
+            actual: d.to_vec(),
+        });
+    }
+    if k == 0 || !d[1].is_multiple_of(k) || !d[2].is_multiple_of(k) {
+        return Err(NnError::bad_config(format!(
+            "pool window {k} must be nonzero and divide the {}x{} input",
+            d[1], d[2]
+        )));
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let (oh, ow) = (h / k, w / k);
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; c * oh * ow];
+    let norm = 1.0 / (k * k) as f32;
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        acc += iv[(ch * h + oy * k + dy) * w + ox * k + dx];
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = acc * norm;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[c, oh, ow])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pool_averages_each_channel() {
+        let t = Tensor::from_fn(&[2, 2, 2], |ix| if ix[0] == 0 { 1.0 } else { 3.0 }).unwrap();
+        let p = global_avg_pool(&t).unwrap();
+        assert_eq!(p.as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn avg_pool_windows() {
+        let t = Tensor::from_fn(&[1, 4, 4], |ix| (ix[1] * 4 + ix[2]) as f32).unwrap();
+        let p = avg_pool(&t, 2).unwrap();
+        assert_eq!(p.shape().dims(), &[1, 2, 2]);
+        // Window (0,0): mean of {0,1,4,5} = 2.5.
+        assert_eq!(p.get(&[0, 0, 0]).unwrap(), 2.5);
+        assert_eq!(p.get(&[0, 1, 1]).unwrap(), 12.5);
+    }
+
+    #[test]
+    fn avg_pool_then_global_equals_global() {
+        let t = Tensor::from_fn(&[3, 4, 4], |ix| ((ix[0] + ix[1] * 2 + ix[2]) % 7) as f32)
+            .unwrap();
+        let direct = global_avg_pool(&t).unwrap();
+        let two_step = global_avg_pool(&avg_pool(&t, 2).unwrap()).unwrap();
+        assert!(direct.max_abs_diff(&two_step).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn validation() {
+        let t = Tensor::zeros(&[4]).unwrap();
+        assert!(global_avg_pool(&t).is_err());
+        let t = Tensor::zeros(&[1, 5, 4]).unwrap();
+        assert!(avg_pool(&t, 2).is_err());
+        assert!(avg_pool(&t, 0).is_err());
+    }
+}

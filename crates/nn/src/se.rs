@@ -1,0 +1,161 @@
+//! Squeeze-and-excite blocks (used by MobileNet-V3 and MnasNet).
+//!
+//! The paper includes the squeeze-and-excite FC layers in its latency
+//! accounting (§V-A-3), so the block exposes [`SqueezeExcite::ops`]
+//! descriptors alongside the functional forward pass.
+
+use crate::activation::Activation;
+use crate::linear::linear;
+use crate::ops::Op;
+use crate::pool::global_avg_pool;
+use crate::NnError;
+use fuseconv_tensor::Tensor;
+
+/// A squeeze-and-excite block: global pool → FC (ReLU) → FC (h-sigmoid) →
+/// channel-wise rescale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqueezeExcite {
+    w1: Tensor,
+    w2: Tensor,
+}
+
+impl SqueezeExcite {
+    /// Creates a block from its two FC weights: `w1` is `[reduced, c]`,
+    /// `w2` is `[c, reduced]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for inconsistent weight shapes.
+    pub fn new(w1: Tensor, w2: Tensor) -> Result<Self, NnError> {
+        let (d1, d2) = (w1.shape().dims().to_vec(), w2.shape().dims().to_vec());
+        if d1.len() != 2 || d2.len() != 2 || d1[0] != d2[1] || d1[1] != d2[0] {
+            return Err(NnError::bad_config(format!(
+                "se weights must be [r, c] and [c, r], got {d1:?} and {d2:?}"
+            )));
+        }
+        Ok(SqueezeExcite { w1, w2 })
+    }
+
+    /// Creates a block with all-constant weights (tests/examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `c` or `reduced` is zero.
+    pub fn with_constant_weights(c: usize, reduced: usize, value: f32) -> Result<Self, NnError> {
+        if c == 0 || reduced == 0 {
+            return Err(NnError::bad_config("channel counts must be nonzero"));
+        }
+        Self::new(
+            Tensor::full(&[reduced, c], value)?,
+            Tensor::full(&[c, reduced], value)?,
+        )
+    }
+
+    /// Channel count `C`.
+    pub fn channels(&self) -> usize {
+        self.w1.shape().dims()[1]
+    }
+
+    /// Bottleneck width.
+    pub fn reduced(&self) -> usize {
+        self.w1.shape().dims()[0]
+    }
+
+    /// The two FC descriptors for latency/MAC accounting.
+    pub fn ops(&self) -> Vec<Op> {
+        vec![
+            Op::fc(self.channels(), self.reduced()),
+            Op::fc(self.reduced(), self.channels()),
+        ]
+    }
+
+    /// Runs the block on a `[C, H, W]` input, returning the re-scaled map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] unless the input is `[C, H, W]` with
+    /// this block's channel count.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let d = input.shape().dims();
+        if d.len() != 3 || d[0] != self.channels() {
+            return Err(NnError::BadInput {
+                layer: "squeeze_excite",
+                expected: format!("[{}, H, W]", self.channels()),
+                actual: d.to_vec(),
+            });
+        }
+        let squeezed = global_avg_pool(input)?;
+        let hidden = Activation::Relu.apply(&linear(&squeezed, &self.w1, None)?);
+        let gates = Activation::HSigmoid.apply(&linear(&hidden, &self.w2, None)?);
+        let plane = d[1] * d[2];
+        let mut out = input.as_slice().to_vec();
+        for ch in 0..d[0] {
+            let g = gates.as_slice()[ch];
+            for v in &mut out[ch * plane..(ch + 1) * plane] {
+                *v *= g;
+            }
+        }
+        Ok(Tensor::from_vec(out, d)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_are_bounded_channel_scales() {
+        let se = SqueezeExcite::with_constant_weights(4, 2, 0.1).unwrap();
+        let x = Tensor::from_fn(&[4, 3, 3], |ix| (ix[0] + 1) as f32).unwrap();
+        let y = se.forward(&x).unwrap();
+        // Every output is input scaled by a per-channel factor in [0, 1].
+        for ch in 0..4 {
+            let ratio = y.get(&[ch, 0, 0]).unwrap() / x.get(&[ch, 0, 0]).unwrap();
+            assert!((0.0..=1.0).contains(&ratio));
+            for yy in 0..3 {
+                for xx in 0..3 {
+                    let r = y.get(&[ch, yy, xx]).unwrap() / x.get(&[ch, yy, xx]).unwrap();
+                    assert!((r - ratio).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weights_saturate_hsigmoid_to_half() {
+        // With w2 = 0 the gate input is 0 and h-sigmoid(0) = 0.5.
+        let se = SqueezeExcite::new(
+            Tensor::full(&[2, 4], 1.0).unwrap(),
+            Tensor::zeros(&[4, 2]).unwrap(),
+        )
+        .unwrap();
+        let x = Tensor::full(&[4, 2, 2], 2.0).unwrap();
+        let y = se.forward(&x).unwrap();
+        for v in y.as_slice() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn op_descriptors_cover_both_fcs() {
+        let se = SqueezeExcite::with_constant_weights(16, 4, 0.0).unwrap();
+        let ops = se.ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].macs(), 16 * 4);
+        assert_eq!(ops[1].macs(), 4 * 16);
+        assert_eq!(se.channels(), 16);
+        assert_eq!(se.reduced(), 4);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SqueezeExcite::with_constant_weights(0, 2, 0.0).is_err());
+        assert!(SqueezeExcite::new(
+            Tensor::zeros(&[2, 4]).unwrap(),
+            Tensor::zeros(&[4, 3]).unwrap()
+        )
+        .is_err());
+        let se = SqueezeExcite::with_constant_weights(4, 2, 0.0).unwrap();
+        assert!(se.forward(&Tensor::zeros(&[3, 2, 2]).unwrap()).is_err());
+    }
+}

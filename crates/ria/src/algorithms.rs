@@ -1,0 +1,227 @@
+//! The algorithms analyzed by the paper, written as recurrence systems.
+//!
+//! Each constructor transcribes the recurrence relations in Figs. 1, 2 and 7
+//! of the paper; the accompanying tests assert exactly the paper's
+//! classifications.
+
+use crate::{IndexExpr, Recurrence, RecurrenceSystem, Term};
+
+/// Matrix multiplication as a 3-index recurrence system (Fig. 1(b)):
+///
+/// ```text
+/// A[i, j, k] = A[i, j-1, k]          (propagate A along j)
+/// B[i, j, k] = B[i-1, j, k]          (propagate B along i)
+/// C[i, j, k] = C[i, j, k-1] + A[i, j, k] · B[i, j, k]
+/// ```
+///
+/// All index offsets are constant, so matmul **is** an RIA and hence a
+/// candidate systolic algorithm.
+pub fn matmul() -> RecurrenceSystem {
+    let i = || IndexExpr::axis(0);
+    let j = || IndexExpr::axis(1);
+    let k = || IndexExpr::axis(2);
+    RecurrenceSystem::new(
+        "matrix multiplication",
+        vec![
+            Recurrence::new(
+                "A",
+                3,
+                vec![Term::new(
+                    "A",
+                    vec![i(), j() - (IndexExpr::constant(1)), k()],
+                )],
+            ),
+            Recurrence::new(
+                "B",
+                3,
+                vec![Term::new(
+                    "B",
+                    vec![i() - (IndexExpr::constant(1)), j(), k()],
+                )],
+            ),
+            Recurrence::new(
+                "C",
+                3,
+                vec![
+                    Term::new("C", vec![i(), j(), k() - (IndexExpr::constant(1))]),
+                    Term::new("A", vec![i(), j(), k()]),
+                    Term::new("B", vec![i(), j(), k()]),
+                ],
+            ),
+        ],
+    )
+}
+
+/// Direct 2-D convolution with a `K×K` kernel as a 3-index recurrence
+/// (Fig. 2(b)): the `K²` products for output `(i, j)` are serialized along
+/// `k`, so the input read becomes
+///
+/// ```text
+/// C[i, j, k] = C[i, j, k-1] + A[i + ⌊k/K⌋, j + (k mod K), 0] · B[⌊k/K⌋, k mod K, 0]
+/// ```
+///
+/// The offsets to `A` and `B` depend on `k` through `⌊k/K⌋` and `k mod K`,
+/// violating the constant-index-offset condition: direct 2-D convolution is
+/// **not** an RIA (§III-A), and therefore depthwise convolution is not a
+/// systolic algorithm.
+pub fn conv2d_direct(kernel: usize) -> RecurrenceSystem {
+    let k_i64 = kernel as i64;
+    let i = || IndexExpr::axis(0);
+    let j = || IndexExpr::axis(1);
+    let k = || IndexExpr::axis(2);
+    RecurrenceSystem::new(
+        "direct 2-D convolution",
+        vec![Recurrence::new(
+            "C",
+            3,
+            vec![
+                Term::new("C", vec![i(), j(), k() - (IndexExpr::constant(1))]),
+                Term::new(
+                    "A",
+                    vec![
+                        i() + (k().floor_div(k_i64)),
+                        j() + (k().modulo(k_i64)),
+                        IndexExpr::constant(0),
+                    ],
+                ),
+                Term::new(
+                    "B",
+                    vec![
+                        k().floor_div(k_i64),
+                        k().modulo(k_i64),
+                        IndexExpr::constant(0),
+                    ],
+                ),
+            ],
+        )],
+    )
+}
+
+/// 2-D convolution after the `im2col` transformation (Fig. 2(c)): the patch
+/// matrix `A'` stores each receptive field in a row, restoring constant
+/// offsets. The computation is a GEMM
+///
+/// ```text
+/// C[i, j, k] = C[i, j, k-1] + A'[i, k] · B'[k, j]
+/// ```
+///
+/// with — crucially for §III-B — a single output column `j ∈ {0}` in the
+/// depthwise case, so on a 2-D systolic array only one column of PEs is used.
+pub fn conv2d_im2col() -> RecurrenceSystem {
+    let mut sys = matmul();
+    // Structurally identical to matmul once A is replaced by the patch
+    // matrix; only the name differs.
+    sys = RecurrenceSystem::new("2-D convolution via im2col", sys.recurrences().to_vec());
+    sys
+}
+
+/// 1-D convolution as a 2-index recurrence (Fig. 7(a)):
+///
+/// ```text
+/// W[i, j] = W[i-1, j]                (broadcast/propagate the weight)
+/// C[i, j] = C[i, j-1] + W[i, j] · A[i, j]
+/// ```
+///
+/// where `j` enumerates the `K` taps and `i` the output positions, reading
+/// the input `A[i, j] = a[i + j]` which is materialized as a skewed plane.
+/// All offsets are constant: 1-D convolution **is** an RIA, the foundation of
+/// FuSeConv (§IV-B).
+pub fn conv1d() -> RecurrenceSystem {
+    let i = || IndexExpr::axis(0);
+    let j = || IndexExpr::axis(1);
+    RecurrenceSystem::new(
+        "1-D convolution",
+        vec![
+            Recurrence::new(
+                "W",
+                2,
+                vec![Term::new("W", vec![i() - (IndexExpr::constant(1)), j()])],
+            ),
+            Recurrence::new(
+                "C",
+                2,
+                vec![
+                    Term::new("C", vec![i(), j() - (IndexExpr::constant(1))]),
+                    Term::new("W", vec![i(), j()]),
+                    Term::new("A", vec![i(), j()]),
+                ],
+            ),
+        ],
+    )
+}
+
+/// Pointwise (`1×1`) convolution: a dot product along channels at each output
+/// pixel, i.e. a GEMM over (pixel, out-channel, in-channel) — the same
+/// structure as [`matmul`], hence systolic (§IV-B).
+pub fn pointwise_conv() -> RecurrenceSystem {
+    RecurrenceSystem::new(
+        "pointwise (1x1) convolution",
+        matmul().recurrences().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RiaViolation;
+
+    #[test]
+    fn matmul_is_ria() {
+        assert!(matmul().is_regular_iterative());
+    }
+
+    #[test]
+    fn matmul_dependences_are_unit_vectors() {
+        let deps = matmul().dependence_vectors().unwrap();
+        assert!(deps.contains(&vec![0, 1, 0]));
+        assert!(deps.contains(&vec![1, 0, 0]));
+        assert!(deps.contains(&vec![0, 0, 1]));
+        assert_eq!(deps.len(), 3);
+    }
+
+    #[test]
+    fn conv2d_direct_is_not_ria_for_any_kernel() {
+        for k in 2..=7 {
+            let sys = conv2d_direct(k);
+            let errs = sys.check().unwrap_err();
+            // Both the A and B reads have k-dependent offsets.
+            let non_const = errs
+                .iter()
+                .filter(|v| matches!(v, RiaViolation::NonConstantOffset { .. }))
+                .count();
+            assert_eq!(non_const, 2, "kernel size {k}");
+        }
+    }
+
+    #[test]
+    fn conv2d_direct_1x1_degenerates_but_still_uses_div_mod() {
+        // Even K=1 is written with floor/mod and is rejected by the static
+        // check: regularity is a property of the *specification*, matching
+        // the paper's argument that no refactoring of the direct form works.
+        assert!(!conv2d_direct(1).is_regular_iterative());
+    }
+
+    #[test]
+    fn conv2d_im2col_is_ria() {
+        assert!(conv2d_im2col().is_regular_iterative());
+    }
+
+    #[test]
+    fn conv1d_is_ria() {
+        assert!(conv1d().is_regular_iterative());
+        let deps = conv1d().dependence_vectors().unwrap();
+        assert!(deps.contains(&vec![1, 0]));
+        assert!(deps.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn pointwise_is_ria() {
+        assert!(pointwise_conv().is_regular_iterative());
+    }
+
+    #[test]
+    fn display_round_trips_names() {
+        assert!(matmul().to_string().contains("matrix multiplication"));
+        assert!(conv1d().to_string().contains("1-D convolution"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Symbolic index expressions for recurrence relations.
+
+use std::fmt;
+
+/// A symbolic expression over the iteration-vector components of a
+/// recurrence relation.
+///
+/// Index expressions describe how an RHS variable's index coordinate is
+/// computed from the LHS iteration vector. The RIA condition requires every
+/// coordinate to reduce to `Axis(a) + c` (or a bare constant); anything
+/// involving `⌊·/·⌋`, `mod`, or a different scale factor breaks the constant
+/// index-offset property.
+///
+/// # Examples
+///
+/// ```
+/// use fuseconv_ria::IndexExpr;
+///
+/// // i - 1 : a constant-offset access along axis 0.
+/// let e = IndexExpr::axis(0) - (IndexExpr::constant(1));
+/// assert_eq!(e.as_axis_offset(), Some((0, -1)));
+///
+/// // floor(k / 3) : not a constant offset.
+/// let e = IndexExpr::axis(2).floor_div(3);
+/// assert_eq!(e.as_axis_offset(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexExpr {
+    /// A component of the LHS iteration vector, by axis position.
+    Axis(usize),
+    /// An integer constant.
+    Const(i64),
+    /// Sum of two expressions.
+    Add(Box<IndexExpr>, Box<IndexExpr>),
+    /// Difference of two expressions.
+    Sub(Box<IndexExpr>, Box<IndexExpr>),
+    /// Product with an integer constant.
+    MulConst(Box<IndexExpr>, i64),
+    /// Floor division by a positive integer constant.
+    FloorDiv(Box<IndexExpr>, i64),
+    /// Remainder modulo a positive integer constant.
+    Mod(Box<IndexExpr>, i64),
+}
+
+impl IndexExpr {
+    /// The iteration-vector component `axis`.
+    pub fn axis(axis: usize) -> Self {
+        IndexExpr::Axis(axis)
+    }
+
+    /// An integer constant.
+    pub fn constant(value: i64) -> Self {
+        IndexExpr::Const(value)
+    }
+
+    /// `self * c`.
+    #[must_use]
+    pub fn mul_const(self, c: i64) -> Self {
+        IndexExpr::MulConst(Box::new(self), c)
+    }
+
+    /// `⌊self / d⌋` for `d > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d <= 0`.
+    #[must_use]
+    pub fn floor_div(self, d: i64) -> Self {
+        assert!(d > 0, "floor_div divisor must be positive");
+        IndexExpr::FloorDiv(Box::new(self), d)
+    }
+
+    /// `self mod m` for `m > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 0`.
+    #[must_use]
+    pub fn modulo(self, m: i64) -> Self {
+        assert!(m > 0, "modulo base must be positive");
+        IndexExpr::Mod(Box::new(self), m)
+    }
+
+    /// Evaluates the expression at a concrete iteration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references an axis beyond `point.len()`.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        match self {
+            IndexExpr::Axis(a) => point[*a],
+            IndexExpr::Const(c) => *c,
+            IndexExpr::Add(l, r) => l.eval(point) + r.eval(point),
+            IndexExpr::Sub(l, r) => l.eval(point) - r.eval(point),
+            IndexExpr::MulConst(e, c) => e.eval(point) * c,
+            IndexExpr::FloorDiv(e, d) => e.eval(point).div_euclid(*d),
+            IndexExpr::Mod(e, m) => e.eval(point).rem_euclid(*m),
+        }
+    }
+
+    /// If the expression is exactly `Axis(a) + c` (a unit-coefficient affine
+    /// access), returns `(a, c)`. Returns `None` for constants, scaled axes,
+    /// multi-axis sums, floor-divisions and remainders.
+    ///
+    /// This is the predicate behind the RIA constant-index-offset check: an
+    /// RHS coordinate that reads from axis `a` with offset `c` contributes
+    /// `-c` to the dependence vector along `a`.
+    pub fn as_axis_offset(&self) -> Option<(usize, i64)> {
+        let (coeffs, konst, regular) = self.linearize();
+        if !regular {
+            return None;
+        }
+        let mut found = None;
+        for (axis, &coeff) in coeffs.iter().enumerate() {
+            match coeff {
+                0 => {}
+                1 if found.is_none() => found = Some(axis),
+                _ => return None,
+            }
+        }
+        found.map(|axis| (axis, konst))
+    }
+
+    /// If the expression is a bare constant (no axis involvement), returns
+    /// its value.
+    pub fn as_constant(&self) -> Option<i64> {
+        let (coeffs, konst, regular) = self.linearize();
+        if regular && coeffs.iter().all(|&c| c == 0) {
+            Some(konst)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the expression is *regular* in the RIA sense: an affine
+    /// combination of axes and constants, with no floor-division or modulo.
+    pub fn is_affine(&self) -> bool {
+        self.linearize().2
+    }
+
+    /// Highest axis referenced, if any.
+    pub fn max_axis(&self) -> Option<usize> {
+        match self {
+            IndexExpr::Axis(a) => Some(*a),
+            IndexExpr::Const(_) => None,
+            IndexExpr::Add(l, r) | IndexExpr::Sub(l, r) => match (l.max_axis(), r.max_axis()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            IndexExpr::MulConst(e, _) | IndexExpr::FloorDiv(e, _) | IndexExpr::Mod(e, _) => {
+                e.max_axis()
+            }
+        }
+    }
+
+    /// Collects affine coefficients: returns (per-axis coefficients, constant,
+    /// is_affine). Coefficient vector is sized to `max_axis + 1`.
+    fn linearize(&self) -> (Vec<i64>, i64, bool) {
+        let width = self.max_axis().map_or(0, |a| a + 1);
+        let mut coeffs = vec![0i64; width];
+        let mut konst = 0i64;
+        let regular = self.accumulate(1, &mut coeffs, &mut konst);
+        (coeffs, konst, regular)
+    }
+
+    fn accumulate(&self, scale: i64, coeffs: &mut [i64], konst: &mut i64) -> bool {
+        match self {
+            IndexExpr::Axis(a) => {
+                coeffs[*a] += scale;
+                true
+            }
+            IndexExpr::Const(c) => {
+                *konst += scale * c;
+                true
+            }
+            IndexExpr::Add(l, r) => {
+                l.accumulate(scale, coeffs, konst) && r.accumulate(scale, coeffs, konst)
+            }
+            IndexExpr::Sub(l, r) => {
+                l.accumulate(scale, coeffs, konst) && r.accumulate(-scale, coeffs, konst)
+            }
+            IndexExpr::MulConst(e, c) => e.accumulate(scale * c, coeffs, konst),
+            // Floor division and modulo are exactly the operations that break
+            // regularity (§III-A: the offsets ⌊k/K⌋ and k mod K of direct 2-D
+            // convolution).
+            IndexExpr::FloorDiv(_, _) | IndexExpr::Mod(_, _) => false,
+        }
+    }
+}
+
+impl std::ops::Add for IndexExpr {
+    type Output = IndexExpr;
+
+    fn add(self, rhs: IndexExpr) -> IndexExpr {
+        IndexExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for IndexExpr {
+    type Output = IndexExpr;
+
+    fn sub(self, rhs: IndexExpr) -> IndexExpr {
+        IndexExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const AXIS_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+        match self {
+            IndexExpr::Axis(a) => match AXIS_NAMES.get(*a) {
+                Some(name) => write!(f, "{name}"),
+                None => write!(f, "x{a}"),
+            },
+            IndexExpr::Const(c) => write!(f, "{c}"),
+            IndexExpr::Add(l, r) => write!(f, "({l} + {r})"),
+            IndexExpr::Sub(l, r) => write!(f, "({l} - {r})"),
+            IndexExpr::MulConst(e, c) => write!(f, "{c}*{e}"),
+            IndexExpr::FloorDiv(e, d) => write!(f, "floor({e}/{d})"),
+            IndexExpr::Mod(e, m) => write!(f, "({e} mod {m})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_affine() {
+        // 2*i + j - 3 at (i, j) = (4, 5) → 10.
+        let e = IndexExpr::axis(0)
+            .mul_const(2)
+             + (IndexExpr::axis(1))
+             - (IndexExpr::constant(3));
+        assert_eq!(e.eval(&[4, 5]), 10);
+        assert!(e.is_affine());
+    }
+
+    #[test]
+    fn eval_floor_div_and_mod_use_euclid() {
+        let fd = IndexExpr::axis(0).floor_div(3);
+        assert_eq!(fd.eval(&[7]), 2);
+        assert_eq!(fd.eval(&[-1]), -1); // floor, not truncation
+        let md = IndexExpr::axis(0).modulo(3);
+        assert_eq!(md.eval(&[7]), 1);
+        assert_eq!(md.eval(&[-1]), 2); // non-negative remainder
+    }
+
+    #[test]
+    fn axis_offset_recognized() {
+        let e = IndexExpr::axis(2) - (IndexExpr::constant(1));
+        assert_eq!(e.as_axis_offset(), Some((2, -1)));
+        let e = IndexExpr::axis(0);
+        assert_eq!(e.as_axis_offset(), Some((0, 0)));
+        let e = IndexExpr::constant(4) + (IndexExpr::axis(1));
+        assert_eq!(e.as_axis_offset(), Some((1, 4)));
+    }
+
+    #[test]
+    fn non_unit_accesses_rejected() {
+        assert_eq!(IndexExpr::axis(0).mul_const(2).as_axis_offset(), None);
+        assert_eq!(
+            (IndexExpr::axis(0) + IndexExpr::axis(1)).as_axis_offset(),
+            None
+        );
+        assert_eq!(IndexExpr::axis(0).floor_div(3).as_axis_offset(), None);
+        assert_eq!(IndexExpr::axis(0).modulo(3).as_axis_offset(), None);
+        assert_eq!(IndexExpr::constant(7).as_axis_offset(), None);
+    }
+
+    #[test]
+    fn cancellation_is_still_affine() {
+        // (i + k) - k reduces to i: affine with unit coefficient.
+        let e = IndexExpr::axis(0)
+             + (IndexExpr::axis(2))
+             - (IndexExpr::axis(2));
+        assert_eq!(e.as_axis_offset(), Some((0, 0)));
+    }
+
+    #[test]
+    fn constants_recognized() {
+        assert_eq!(IndexExpr::constant(5).as_constant(), Some(5));
+        let e = IndexExpr::axis(0) - (IndexExpr::axis(0));
+        assert_eq!(e.as_constant(), Some(0));
+        assert_eq!(IndexExpr::axis(0).as_constant(), None);
+        assert_eq!(IndexExpr::axis(0).modulo(2).as_constant(), None);
+    }
+
+    #[test]
+    fn display_uses_conventional_names() {
+        let e = IndexExpr::axis(2).floor_div(3);
+        assert_eq!(e.to_string(), "floor(k/3)");
+        let e = IndexExpr::axis(0) - (IndexExpr::constant(1));
+        assert_eq!(e.to_string(), "(i - 1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be positive")]
+    fn floor_div_rejects_nonpositive() {
+        let _ = IndexExpr::axis(0).floor_div(0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Recurrence relations and the RIA check.
+
+use crate::IndexExpr;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// One RHS operand of a recurrence relation: a variable read at an index
+/// given by per-coordinate [`IndexExpr`]s of the LHS iteration vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// Variable name (e.g. `"A"`).
+    pub var: String,
+    /// One expression per coordinate of the read index.
+    pub index: Vec<IndexExpr>,
+}
+
+impl Term {
+    /// Creates a term reading `var` at the given index expressions.
+    pub fn new(var: impl Into<String>, index: Vec<IndexExpr>) -> Self {
+        Term {
+            var: var.into(),
+            index,
+        }
+    }
+
+    /// The index offset of this term relative to the LHS iteration vector,
+    /// if every coordinate is a unit-coefficient affine access or constant.
+    ///
+    /// Coordinate `d` reading `Axis(a) + c` yields offset `c` placed at
+    /// position `d` — but only when `a == d` (the coordinate reads "its own"
+    /// axis, the situation in all of the paper's examples). Reading a
+    /// *different* axis, a scaled axis, or a `⌊·/·⌋`/`mod` expression makes
+    /// the offset non-constant and returns `None`.
+    pub fn constant_offset(&self) -> Option<Vec<i64>> {
+        let mut offsets = Vec::with_capacity(self.index.len());
+        for (dim, expr) in self.index.iter().enumerate() {
+            match expr.as_axis_offset() {
+                Some((axis, c)) if axis == dim => offsets.push(c),
+                _ => return None,
+            }
+        }
+        Some(offsets)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.var)?;
+        for (i, e) in self.index.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A single recurrence relation: `lhs[i⃗] = f(terms…)` over an iteration
+/// domain of dimension `rank`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recurrence {
+    /// Variable being defined.
+    pub lhs: String,
+    /// Dimension of the iteration vector.
+    pub rank: usize,
+    /// RHS operands.
+    pub terms: Vec<Term>,
+}
+
+impl Recurrence {
+    /// Creates a recurrence defining `lhs` over a `rank`-dimensional
+    /// iteration space from the given RHS terms.
+    pub fn new(lhs: impl Into<String>, rank: usize, terms: Vec<Term>) -> Self {
+        Recurrence {
+            lhs: lhs.into(),
+            rank,
+            terms,
+        }
+    }
+}
+
+impl fmt::Display for Recurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const AXIS_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+        write!(f, "{}[", self.lhs)?;
+        for d in 0..self.rank {
+            if d > 0 {
+                write!(f, ", ")?;
+            }
+            match AXIS_NAMES.get(d) {
+                Some(n) => write!(f, "{n}")?,
+                None => write!(f, "x{d}")?,
+            }
+        }
+        write!(f, "] = f(")?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Why a recurrence system fails to be a Regular Iterative Algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RiaViolation {
+    /// A variable is defined by more than one recurrence (violates single
+    /// assignment).
+    MultipleAssignment {
+        /// The multiply-defined variable.
+        var: String,
+    },
+    /// A term's index offset is not a constant vector.
+    NonConstantOffset {
+        /// Variable defined by the offending recurrence.
+        lhs: String,
+        /// The offending term, pretty-printed.
+        term: String,
+    },
+    /// A term's index rank disagrees with the recurrence's iteration rank.
+    RankMismatch {
+        /// Variable defined by the offending recurrence.
+        lhs: String,
+        /// The offending term, pretty-printed.
+        term: String,
+        /// Expected rank.
+        expected: usize,
+        /// Term's rank.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for RiaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiaViolation::MultipleAssignment { var } => {
+                write!(f, "variable {var} is assigned by more than one recurrence")
+            }
+            RiaViolation::NonConstantOffset { lhs, term } => write!(
+                f,
+                "in the recurrence for {lhs}, term {term} has a non-constant index offset"
+            ),
+            RiaViolation::RankMismatch {
+                lhs,
+                term,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "in the recurrence for {lhs}, term {term} has rank {actual}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for RiaViolation {}
+
+/// A set of recurrence relations describing one algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use fuseconv_ria::{IndexExpr, Recurrence, RecurrenceSystem, Term};
+///
+/// // C[i,j,k] = C[i,j,k-1] + A[i,k]·B[k,j], written with a propagated
+/// // 3-index form as in Fig. 1(b) of the paper.
+/// let sys = fuseconv_ria::algorithms::matmul();
+/// assert!(sys.check().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceSystem {
+    name: String,
+    recurrences: Vec<Recurrence>,
+}
+
+impl RecurrenceSystem {
+    /// Creates a named system from its recurrences.
+    pub fn new(name: impl Into<String>, recurrences: Vec<Recurrence>) -> Self {
+        RecurrenceSystem {
+            name: name.into(),
+            recurrences,
+        }
+    }
+
+    /// The system's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The recurrences.
+    pub fn recurrences(&self) -> &[Recurrence] {
+        &self.recurrences
+    }
+
+    /// Checks the three RIA conditions, returning every violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (non-empty) list of [`RiaViolation`]s if the system is
+    /// not a Regular Iterative Algorithm.
+    pub fn check(&self) -> Result<(), Vec<RiaViolation>> {
+        let mut violations = Vec::new();
+        let mut defined = BTreeSet::new();
+        for rec in &self.recurrences {
+            if !defined.insert(rec.lhs.clone()) {
+                violations.push(RiaViolation::MultipleAssignment {
+                    var: rec.lhs.clone(),
+                });
+            }
+            for term in &rec.terms {
+                if term.index.len() != rec.rank {
+                    violations.push(RiaViolation::RankMismatch {
+                        lhs: rec.lhs.clone(),
+                        term: term.to_string(),
+                        expected: rec.rank,
+                        actual: term.index.len(),
+                    });
+                    continue;
+                }
+                if term.constant_offset().is_none() {
+                    violations.push(RiaViolation::NonConstantOffset {
+                        lhs: rec.lhs.clone(),
+                        term: term.to_string(),
+                    });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Whether the system is a Regular Iterative Algorithm.
+    pub fn is_regular_iterative(&self) -> bool {
+        self.check().is_ok()
+    }
+
+    /// The dependence vectors of the system: for each term with constant
+    /// offset `c⃗`, the dependence is `-c⃗` (the LHS point depends on the
+    /// point `c⃗` away). Self-independent zero vectors from reads of *other*
+    /// variables at the same point are included as zero rows only when the
+    /// term reads the LHS variable itself; pure input reads at offset 0 do
+    /// not constrain a schedule.
+    ///
+    /// Returns `None` if any offset is non-constant (non-RIA).
+    pub fn dependence_vectors(&self) -> Option<Vec<Vec<i64>>> {
+        let mut deps = Vec::new();
+        for rec in &self.recurrences {
+            for term in &rec.terms {
+                let offsets = term.constant_offset()?;
+                let dep: Vec<i64> = offsets.iter().map(|&c| -c).collect();
+                // A read of a *different* variable at the same iteration
+                // point is data forwarding within the cell, not a schedule
+                // constraint; a zero self-dependence would make any schedule
+                // infeasible and cannot occur in single-assignment code.
+                if dep.iter().any(|&d| d != 0) {
+                    deps.push(dep);
+                }
+            }
+        }
+        Some(deps)
+    }
+}
+
+impl fmt::Display for RecurrenceSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for rec in &self.recurrences {
+            writeln!(f, "  {rec}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn same_point(var: &str, rank: usize) -> Term {
+        Term::new(var, (0..rank).map(IndexExpr::axis).collect())
+    }
+
+    #[test]
+    fn constant_offset_extraction() {
+        let t = Term::new(
+            "C",
+            vec![
+                IndexExpr::axis(0),
+                IndexExpr::axis(1),
+                IndexExpr::axis(2) - (IndexExpr::constant(1)),
+            ],
+        );
+        assert_eq!(t.constant_offset(), Some(vec![0, 0, -1]));
+    }
+
+    #[test]
+    fn cross_axis_read_is_not_constant_offset() {
+        // A[j, i]: coordinate 0 reads axis 1 — a transposed access, which is
+        // affine but not an index *offset* in the RIA sense.
+        let t = Term::new("A", vec![IndexExpr::axis(1), IndexExpr::axis(0)]);
+        assert_eq!(t.constant_offset(), None);
+    }
+
+    #[test]
+    fn single_assignment_enforced() {
+        let sys = RecurrenceSystem::new(
+            "double-def",
+            vec![
+                Recurrence::new("C", 2, vec![same_point("A", 2)]),
+                Recurrence::new("C", 2, vec![same_point("B", 2)]),
+            ],
+        );
+        let errs = sys.check().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, RiaViolation::MultipleAssignment { var } if var == "C")));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let sys = RecurrenceSystem::new(
+            "bad-rank",
+            vec![Recurrence::new(
+                "C",
+                3,
+                vec![Term::new("A", vec![IndexExpr::axis(0)])],
+            )],
+        );
+        let errs = sys.check().unwrap_err();
+        assert!(matches!(errs[0], RiaViolation::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn non_constant_offset_detected_and_displayed() {
+        let sys = RecurrenceSystem::new(
+            "conv-like",
+            vec![Recurrence::new(
+                "C",
+                3,
+                vec![Term::new(
+                    "A",
+                    vec![
+                        IndexExpr::axis(0) + (IndexExpr::axis(2).floor_div(3)),
+                        IndexExpr::axis(1) + (IndexExpr::axis(2).modulo(3)),
+                        IndexExpr::axis(2),
+                    ],
+                )],
+            )],
+        );
+        let errs = sys.check().unwrap_err();
+        assert_eq!(errs.len(), 1);
+        let msg = errs[0].to_string();
+        assert!(msg.contains("non-constant index offset"), "{msg}");
+    }
+
+    #[test]
+    fn dependence_vectors_negate_offsets() {
+        let sys = RecurrenceSystem::new(
+            "chain",
+            vec![Recurrence::new(
+                "C",
+                2,
+                vec![
+                    Term::new(
+                        "C",
+                        vec![IndexExpr::axis(0), IndexExpr::axis(1) - (IndexExpr::constant(1))],
+                    ),
+                    same_point("A", 2),
+                ],
+            )],
+        );
+        assert_eq!(sys.dependence_vectors(), Some(vec![vec![0, 1]]));
+    }
+
+    #[test]
+    fn display_shows_loop_variables() {
+        let rec = Recurrence::new("C", 2, vec![same_point("A", 2)]);
+        assert_eq!(rec.to_string(), "C[i, j] = f(A[i, j])");
+    }
+}

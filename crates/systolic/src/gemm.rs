@@ -1,0 +1,258 @@
+//! Output-stationary GEMM on the systolic array (§II-C, Fig. 1(d)).
+//!
+//! Operand `A` (`M×K`) streams in from the left, one array row per output
+//! row; operand `B` (`K×N`) streams from the top, one array column per
+//! output column. Both streams are skewed one cycle per position so that
+//! PE `(i, j)` performs the MAC for reduction index `t − i − j` at cycle
+//! `t`. Outputs stay in the PEs and drain down the columns afterwards.
+//!
+//! Work larger than the array is tiled into `⌈M/rows⌉·⌈N/cols⌉` *folds*;
+//! each fold of used size `ru×cu` costs
+//!
+//! ```text
+//! T_fold = (ru + cu + K − 2)   skewed fill + compute
+//!        +  ru                 output drain down the columns
+//!        = 2·ru + cu + K − 2   (the SCALE-Sim output-stationary formula)
+//! ```
+
+use crate::{ArrayConfig, ConfigError, SimResult};
+use fuseconv_tensor::Tensor;
+
+/// Exact cycles of one output-stationary fold using `ru` rows, `cu`
+/// columns and reduction length `k`.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn fold_cycles(ru: usize, cu: usize, k: usize) -> u64 {
+    assert!(ru > 0 && cu > 0 && k > 0, "fold dimensions must be nonzero");
+    (2 * ru + cu + k - 2) as u64
+}
+
+/// Simulates `C = A·B` on the array, cycle by cycle.
+///
+/// Returns the product (bit-identical to the golden
+/// [`matmul`](fuseconv_tensor::gemm::matmul) up to f32 summation order — the
+/// simulator accumulates in the same `k` order, so results are exactly
+/// equal) together with exact cycle counts and the per-cycle busy trace.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::BadOperand`] unless `a` is `M×K` and `b` is `K×N`.
+pub fn simulate(cfg: &ArrayConfig, a: &Tensor, b: &Tensor) -> Result<SimResult, ConfigError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
+        return Err(ConfigError::BadOperand {
+            what: "gemm operands must be MxK and KxN",
+        });
+    }
+    let (m, k, n) = (ad[0], ad[1], bd[1]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    let mut busy_trace: Vec<u32> = Vec::new();
+    let mut busy_pe_cycles = 0u64;
+    let mut folds = 0u64;
+
+    for row0 in (0..m).step_by(cfg.rows()) {
+        let ru = cfg.rows().min(m - row0);
+        for col0 in (0..n).step_by(cfg.cols()) {
+            let cu = cfg.cols().min(n - col0);
+            folds += 1;
+            // Skewed fill + compute window.
+            let window = ru + cu + k - 2;
+            for t in 0..window {
+                let mut busy = 0u32;
+                for i in 0..ru {
+                    // PE (i, j) is busy when 0 <= t - i - j < k.
+                    if t < i {
+                        continue;
+                    }
+                    for j in 0..cu {
+                        if t < i + j {
+                            break;
+                        }
+                        let kk = t - i - j;
+                        if kk < k {
+                            let gi = row0 + i;
+                            let gj = col0 + j;
+                            out[gi * n + gj] += av[gi * k + kk] * bv[kk * n + gj];
+                            busy += 1;
+                        }
+                    }
+                }
+                busy_trace.push(busy);
+                busy_pe_cycles += busy as u64;
+            }
+            // Output drain: ru cycles, no MACs.
+            busy_trace.extend(std::iter::repeat_n(0, ru));
+        }
+    }
+
+    let output = Tensor::from_vec(out, &[m, n]).expect("m, n nonzero");
+    let macs = (m * k * n) as u64;
+    Ok(SimResult::new(
+        output,
+        macs,
+        busy_pe_cycles,
+        cfg.pe_count(),
+        folds,
+        busy_trace,
+    ))
+}
+
+/// Analytic total cycles for an `M×K·K×N` GEMM on the array — the closed
+/// form the cycle simulator is validated against.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn analytic_cycles(cfg: &ArrayConfig, m: usize, k: usize, n: usize) -> u64 {
+    assert!(m > 0 && k > 0 && n > 0, "gemm dimensions must be nonzero");
+    let mut total = 0u64;
+    for row0 in (0..m).step_by(cfg.rows()) {
+        let ru = cfg.rows().min(m - row0);
+        for col0 in (0..n).step_by(cfg.cols()) {
+            let cu = cfg.cols().min(n - col0);
+            total += fold_cycles(ru, cu, k);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_tensor::gemm::matmul;
+
+    fn tensor(dims: &[usize], f: impl FnMut(&[usize]) -> f32) -> Tensor {
+        Tensor::from_fn(dims, f).unwrap()
+    }
+
+    #[test]
+    fn single_fold_matches_golden_model() {
+        let cfg = ArrayConfig::new(8, 8).unwrap();
+        let a = tensor(&[4, 5], |ix| (ix[0] * 5 + ix[1]) as f32 * 0.25 - 2.0);
+        let b = tensor(&[5, 6], |ix| ((ix[0] + 2 * ix[1]) % 7) as f32 - 3.0);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        let gold = matmul(&a, &b).unwrap();
+        assert!(sim.output().max_abs_diff(&gold).unwrap() < 1e-5);
+        assert_eq!(sim.folds(), 1);
+        assert_eq!(sim.cycles(), fold_cycles(4, 6, 5));
+    }
+
+    #[test]
+    fn multi_fold_matches_golden_model() {
+        let cfg = ArrayConfig::new(3, 4).unwrap();
+        let a = tensor(&[7, 5], |ix| ((ix[0] * 3 + ix[1]) % 5) as f32 - 1.0);
+        let b = tensor(&[5, 9], |ix| ((ix[0] * 2 + ix[1]) % 3) as f32);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        let gold = matmul(&a, &b).unwrap();
+        assert!(sim.output().max_abs_diff(&gold).unwrap() < 1e-5);
+        assert_eq!(sim.folds(), 3 * 3); // ceil(7/3)=3 row tiles, ceil(9/4)=3 col tiles
+        assert_eq!(sim.cycles(), analytic_cycles(&cfg, 7, 5, 9));
+    }
+
+    #[test]
+    fn macs_counted_exactly() {
+        let cfg = ArrayConfig::new(2, 2).unwrap();
+        let a = tensor(&[3, 4], |_| 1.0);
+        let b = tensor(&[4, 5], |_| 1.0);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        assert_eq!(sim.macs(), 3 * 4 * 5);
+        // Every MAC occupies exactly one PE-cycle.
+        assert_eq!(sim.busy_pe_cycles(), sim.macs());
+    }
+
+    #[test]
+    fn busy_trace_is_consistent() {
+        let cfg = ArrayConfig::new(4, 4).unwrap();
+        let a = tensor(&[4, 6], |_| 1.0);
+        let b = tensor(&[6, 4], |_| 1.0);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        let total: u64 = sim.busy_trace().iter().map(|&b| b as u64).sum();
+        assert_eq!(total, sim.busy_pe_cycles());
+        assert_eq!(sim.busy_trace().len() as u64, sim.cycles());
+        // No cycle can have more busy PEs than exist.
+        assert!(sim
+            .busy_trace()
+            .iter()
+            .all(|&b| b as usize <= cfg.pe_count()));
+    }
+
+    #[test]
+    fn single_column_gemm_uses_one_column() {
+        // The depthwise/im2col case of §III-B: N = 1 ⇒ only one array
+        // column is ever busy ⇒ utilization bounded by 1/cols.
+        let cfg = ArrayConfig::new(8, 8).unwrap();
+        let a = tensor(&[8, 9], |_| 1.0);
+        let b = tensor(&[9, 1], |_| 1.0);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        let max_busy = sim.busy_trace().iter().copied().max().unwrap();
+        assert!(max_busy as usize <= cfg.rows());
+        assert!(sim.utilization() <= 1.0 / cfg.cols() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn bad_operands_rejected() {
+        let cfg = ArrayConfig::new(4, 4).unwrap();
+        let a = tensor(&[2, 3], |_| 0.0);
+        let b = tensor(&[4, 2], |_| 0.0);
+        assert!(simulate(&cfg, &a, &b).is_err());
+        let v = tensor(&[3], |_| 0.0);
+        assert!(simulate(&cfg, &a, &v).is_err());
+    }
+
+    #[test]
+    fn fold_formula_matches_scale_sim() {
+        // 2*Sr + Sc + T - 2 with full array usage.
+        assert_eq!(fold_cycles(32, 32, 100), 2 * 32 + 32 + 100 - 2);
+        // Degenerate 1x1x1 fold: one compute cycle plus one drain cycle.
+        assert_eq!(fold_cycles(1, 1, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be nonzero")]
+    fn fold_cycles_rejects_zero() {
+        let _ = fold_cycles(0, 1, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fuseconv_tensor::gemm::matmul;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The cycle simulator computes exactly the golden GEMM and exactly
+        /// the analytic cycle count, for arbitrary shapes and array sizes.
+        #[test]
+        fn simulator_matches_golden_and_analytic(
+            m in 1usize..12,
+            k in 1usize..12,
+            n in 1usize..12,
+            rows in 1usize..6,
+            cols in 1usize..6,
+            seed in 0u64..1_000,
+        ) {
+            let cfg = ArrayConfig::new(rows, cols).unwrap();
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            };
+            let a = Tensor::from_fn(&[m, k], |_| next()).unwrap();
+            let b = Tensor::from_fn(&[k, n], |_| next()).unwrap();
+            let sim = simulate(&cfg, &a, &b).unwrap();
+            let gold = matmul(&a, &b).unwrap();
+            prop_assert!(sim.output().max_abs_diff(&gold).unwrap() < 1e-4);
+            prop_assert_eq!(sim.cycles(), analytic_cycles(&cfg, m, k, n));
+            prop_assert_eq!(sim.macs(), (m * k * n) as u64);
+            prop_assert_eq!(sim.busy_pe_cycles(), sim.macs());
+        }
+    }
+}

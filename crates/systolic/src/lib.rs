@@ -1,0 +1,50 @@
+//! A cycle-level simulator of a 2-D systolic array.
+//!
+//! Two dataflows are modelled, matching §II-C and §IV-C of the paper:
+//!
+//! - [`gemm`] — the classic **output-stationary** dataflow: operand `A`
+//!   streams in from the left (one array row per output row), operand `B`
+//!   from the top (one array column per output column), skewed by one cycle
+//!   per position; each PE accumulates one output element; outputs drain
+//!   down the columns. Work larger than the array is executed in *folds*.
+//! - [`conv1d`] — the paper's **row-broadcast** dataflow for FuSeConv:
+//!   each array row runs an independent 1-D convolution. The row's weight
+//!   taps are broadcast (one per cycle) over a dedicated link while the
+//!   preloaded input slides left one PE per cycle; outputs stay stationary
+//!   and drain down the columns like the OS dataflow.
+//!
+//! Every simulation returns a [`SimResult`] carrying the functional output
+//! (validated against golden models in tests), the exact cycle count, and a
+//! per-cycle busy-PE trace from which utilization is computed. The analytic
+//! latency model in `fuseconv-latency` is cross-validated against these
+//! cycle counts.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fuseconv_systolic::{ArrayConfig, gemm};
+//! use fuseconv_tensor::Tensor;
+//!
+//! let cfg = ArrayConfig::new(8, 8)?;
+//! let a = Tensor::from_fn(&[4, 3], |ix| (ix[0] + ix[1]) as f32)?;
+//! let b = Tensor::from_fn(&[3, 5], |ix| (ix[0] * 2 + ix[1]) as f32)?;
+//! let sim = gemm::simulate(&cfg, &a, &b)?;
+//! let golden = fuseconv_tensor::gemm::matmul(&a, &b)?;
+//! assert_eq!(sim.output().as_slice(), golden.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod conv1d;
+pub mod gemm;
+pub mod is_gemm;
+pub mod result;
+pub mod ws_gemm;
+
+pub use config::{ArrayConfig, ConfigError};
+pub use result::SimResult;

@@ -1,0 +1,238 @@
+//! Weight-stationary GEMM on the systolic array (§II-C names this dataflow
+//! as the natural alternative to output-stationary).
+//!
+//! A tile of `B` (`K×N`) is preloaded into the PEs — array row `i` holds
+//! reduction index `k0+i`, array column `j` holds output column `n0+j`.
+//! Rows of `A` then stream through: operand `a[m, k]` enters row `k`'s
+//! lane skewed by one cycle per position, partial sums flow down the
+//! columns and exit at the bottom. The temporal dimension is therefore
+//! `M` (the number of streamed rows), dual to the output-stationary
+//! dataflow where it is `K`:
+//!
+//! ```text
+//! T_fold = ru                    weight preload (one array row per cycle)
+//!        + (M + ru + cu − 2)     skewed streaming + drain
+//!        = 2·ru + cu + M − 2
+//! ```
+//!
+//! Work wider than the array tiles over `K` (array rows) and `N` (array
+//! columns); `K`-tiles accumulate into the same outputs, which a real
+//! accelerator does in its output SRAM at no extra array cycles.
+
+use crate::{ArrayConfig, ConfigError, SimResult};
+use fuseconv_tensor::Tensor;
+
+/// Exact cycles of one weight-stationary fold using `ru` rows, `cu`
+/// columns and `m` streamed input rows.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn fold_cycles(ru: usize, cu: usize, m: usize) -> u64 {
+    assert!(ru > 0 && cu > 0 && m > 0, "fold dimensions must be nonzero");
+    (ru + (m + ru + cu - 2)) as u64
+}
+
+/// Simulates `C = A·B` under the weight-stationary dataflow, cycle by
+/// cycle.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::BadOperand`] unless `a` is `M×K` and `b` is
+/// `K×N`.
+pub fn simulate(cfg: &ArrayConfig, a: &Tensor, b: &Tensor) -> Result<SimResult, ConfigError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
+        return Err(ConfigError::BadOperand {
+            what: "gemm operands must be MxK and KxN",
+        });
+    }
+    let (m, k, n) = (ad[0], ad[1], bd[1]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    let mut busy_trace: Vec<u32> = Vec::new();
+    let mut busy_pe_cycles = 0u64;
+    let mut folds = 0u64;
+
+    for k0 in (0..k).step_by(cfg.rows()) {
+        let ru = cfg.rows().min(k - k0);
+        for n0 in (0..n).step_by(cfg.cols()) {
+            let cu = cfg.cols().min(n - n0);
+            folds += 1;
+            // Weight preload: one array row per cycle, no MACs.
+            busy_trace.extend(std::iter::repeat_n(0, ru));
+            // Skewed streaming: PE (i, j) multiplies a[m', k0+i] with its
+            // stationary b[k0+i, n0+j] at cycle t = m' + i + j.
+            let window = m + ru + cu - 2;
+            for t in 0..window {
+                let mut busy = 0u32;
+                for i in 0..ru {
+                    if t < i {
+                        continue;
+                    }
+                    for j in 0..cu {
+                        if t < i + j {
+                            break;
+                        }
+                        let mm = t - i - j;
+                        if mm < m {
+                            out[mm * n + (n0 + j)] +=
+                                av[mm * k + (k0 + i)] * bv[(k0 + i) * n + (n0 + j)];
+                            busy += 1;
+                        }
+                    }
+                }
+                busy_trace.push(busy);
+                busy_pe_cycles += busy as u64;
+            }
+        }
+    }
+
+    let output = Tensor::from_vec(out, &[m, n]).expect("m, n nonzero");
+    Ok(SimResult::new(
+        output,
+        (m * k * n) as u64,
+        busy_pe_cycles,
+        cfg.pe_count(),
+        folds,
+        busy_trace,
+    ))
+}
+
+/// Analytic total cycles for an `M×K·K×N` weight-stationary GEMM — the
+/// closed form the cycle simulator is validated against.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn analytic_cycles(cfg: &ArrayConfig, m: usize, k: usize, n: usize) -> u64 {
+    assert!(m > 0 && k > 0 && n > 0, "gemm dimensions must be nonzero");
+    let mut total = 0u64;
+    for k0 in (0..k).step_by(cfg.rows()) {
+        let ru = cfg.rows().min(k - k0);
+        for n0 in (0..n).step_by(cfg.cols()) {
+            let cu = cfg.cols().min(n - n0);
+            total += fold_cycles(ru, cu, m);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_tensor::gemm::matmul;
+
+    fn tensor(dims: &[usize], f: impl FnMut(&[usize]) -> f32) -> Tensor {
+        Tensor::from_fn(dims, f).unwrap()
+    }
+
+    #[test]
+    fn matches_golden_model() {
+        let cfg = ArrayConfig::new(3, 4).unwrap();
+        let a = tensor(&[7, 5], |ix| ((ix[0] * 3 + ix[1]) % 5) as f32 - 1.5);
+        let b = tensor(&[5, 9], |ix| ((ix[0] * 2 + ix[1]) % 3) as f32 * 0.5);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        let gold = matmul(&a, &b).unwrap();
+        assert!(sim.output().max_abs_diff(&gold).unwrap() < 1e-5);
+        // ceil(5/3)=2 k-tiles, ceil(9/4)=3 n-tiles.
+        assert_eq!(sim.folds(), 6);
+        assert_eq!(sim.cycles(), analytic_cycles(&cfg, 7, 5, 9));
+    }
+
+    #[test]
+    fn temporal_dimension_is_m() {
+        // Dual of the OS dataflow: for fixed array usage, WS cycles grow
+        // with M, not K.
+        let cfg = ArrayConfig::new(8, 8).unwrap();
+        assert_eq!(fold_cycles(8, 8, 100), (8 + 100 + 8 + 8 - 2) as u64);
+        let short = analytic_cycles(&cfg, 10, 8, 8);
+        let long = analytic_cycles(&cfg, 100, 8, 8);
+        assert!(long > short);
+        // K beyond the array adds folds, each re-streaming A.
+        let deep = analytic_cycles(&cfg, 10, 16, 8);
+        assert_eq!(deep, 2 * short);
+    }
+
+    #[test]
+    fn ws_beats_os_for_tall_skinny_depthwise_gemm() {
+        // The depthwise im2col shape (M large, K = 9, N = 1): WS keeps the
+        // 9 weights resident and streams the pixels once, while OS refolds
+        // every `rows` pixels.
+        let cfg = ArrayConfig::new(64, 64).unwrap();
+        let ws = analytic_cycles(&cfg, 3136, 9, 1);
+        let os = crate::gemm::analytic_cycles(&cfg, 3136, 9, 1);
+        assert!(
+            ws < os / 2,
+            "weight-stationary {ws} should be well below output-stationary {os}"
+        );
+    }
+
+    #[test]
+    fn os_beats_ws_for_deep_reduction() {
+        // Dual case: M small, K large (an FC layer, M = 1): OS keeps the
+        // single output row resident; WS refolds over K.
+        let cfg = ArrayConfig::new(64, 64).unwrap();
+        let os = crate::gemm::analytic_cycles(&cfg, 1, 1024, 64);
+        let ws = analytic_cycles(&cfg, 1, 1024, 64);
+        assert!(os < ws, "output-stationary {os} vs weight-stationary {ws}");
+    }
+
+    #[test]
+    fn macs_and_busy_accounting() {
+        let cfg = ArrayConfig::new(4, 4).unwrap();
+        let a = tensor(&[6, 5], |_| 1.0);
+        let b = tensor(&[5, 3], |_| 1.0);
+        let sim = simulate(&cfg, &a, &b).unwrap();
+        assert_eq!(sim.macs(), 6 * 5 * 3);
+        assert_eq!(sim.busy_pe_cycles(), sim.macs());
+        let total: u64 = sim.busy_trace().iter().map(|&x| x as u64).sum();
+        assert_eq!(total, sim.busy_pe_cycles());
+    }
+
+    #[test]
+    fn bad_operands_rejected() {
+        let cfg = ArrayConfig::new(4, 4).unwrap();
+        let a = tensor(&[2, 3], |_| 0.0);
+        let b = tensor(&[4, 2], |_| 0.0);
+        assert!(simulate(&cfg, &a, &b).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fuseconv_tensor::gemm::matmul;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Weight-stationary simulation is functionally exact and matches
+        /// its closed form for arbitrary shapes and array sizes.
+        #[test]
+        fn simulator_matches_golden_and_analytic(
+            m in 1usize..10,
+            k in 1usize..10,
+            n in 1usize..10,
+            rows in 1usize..6,
+            cols in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            let cfg = ArrayConfig::new(rows, cols).unwrap();
+            let mut state = seed.wrapping_mul(0xD1342543DE82EF95).wrapping_add(11);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            };
+            let a = Tensor::from_fn(&[m, k], |_| next()).unwrap();
+            let b = Tensor::from_fn(&[k, n], |_| next()).unwrap();
+            let sim = simulate(&cfg, &a, &b).unwrap();
+            let gold = matmul(&a, &b).unwrap();
+            prop_assert!(sim.output().max_abs_diff(&gold).unwrap() < 1e-4);
+            prop_assert_eq!(sim.cycles(), analytic_cycles(&cfg, m, k, n));
+        }
+    }
+}

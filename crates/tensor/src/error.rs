@@ -1,0 +1,117 @@
+//! Error type shared by every fallible operation in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by tensor construction and tensor arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the data.
+    LengthMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// A shape with a zero-sized dimension was supplied where it is invalid.
+    ZeroDim {
+        /// The offending shape, as supplied.
+        dims: Vec<usize>,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An index is out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// A convolution-style lowering was asked for a kernel larger than the
+    /// (padded) input it slides over.
+    KernelTooLarge {
+        /// Kernel extent in the offending dimension.
+        kernel: usize,
+        /// Padded input extent in the same dimension.
+        input: usize,
+    },
+    /// A stride of zero was supplied.
+    ZeroStride,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ZeroDim { dims } => {
+                write!(f, "shape {dims:?} contains a zero-sized dimension")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::KernelTooLarge { kernel, input } => write!(
+                f,
+                "kernel extent {kernel} exceeds padded input extent {input}"
+            ),
+            TensorError::ZeroStride => write!(f, "stride must be nonzero"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ZeroDim { dims: vec![0, 2] },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![2, 3],
+                rhs: vec![4, 5],
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![2],
+            },
+            TensorError::KernelTooLarge {
+                kernel: 5,
+                input: 3,
+            },
+            TensorError::ZeroStride,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<TensorError>();
+    }
+}

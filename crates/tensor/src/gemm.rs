@@ -1,0 +1,162 @@
+//! Reference matrix multiplication.
+//!
+//! The systolic-array simulator and the layer library both reduce their work
+//! to GEMM; this module is the golden model they are validated against.
+
+use crate::{Tensor, TensorError};
+
+/// Multiplies two 2-D tensors: `C = A · B`.
+///
+/// `a` must be `M×K` and `b` must be `K×N`; the result is `M×N`. This is a
+/// plain triple loop — deterministic and obviously correct, which is what a
+/// golden model needs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
+/// with matching inner dimensions.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), fuseconv_tensor::TensorError> {
+/// use fuseconv_tensor::{gemm, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = gemm::matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: ad.to_vec(),
+            rhs: bd.to_vec(),
+        });
+    }
+    let (m, k, n) = (ad[0], ad[1], bd[1]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            let brow = &bv[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow) {
+                *o += aip * bpj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a 2-D tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless the operand is rank-2.
+pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
+    let ad = a.shape().dims();
+    if ad.len() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "transpose",
+            lhs: ad.to_vec(),
+            rhs: vec![],
+        });
+    }
+    let (m, n) = (ad[0], ad[1]);
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// The dot product of two equal-length rank-1 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-1
+/// with equal length.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32, TensorError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 1 || bd.len() != 1 || ad[0] != bd[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "dot",
+            lhs: ad.to_vec(),
+            rhs: bd.to_vec(),
+        });
+    }
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn(&[3, 3], |ix| (ix[0] * 3 + ix[1]) as f32).unwrap();
+        let c = matmul(&a, &Tensor::eye(3)).unwrap();
+        assert_eq!(c, a);
+        let c2 = matmul(&Tensor::eye(3), &a).unwrap();
+        assert_eq!(c2, a);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn mismatched_inner_dims_rejected() {
+        let a = Tensor::zeros(&[2, 3]).unwrap();
+        let b = Tensor::zeros(&[4, 2]).unwrap();
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(&[3]).unwrap();
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn(&[2, 5], |ix| (ix[0] * 5 + ix[1]) as f32).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.shape().dims(), &[5, 2]);
+        assert_eq!(transpose(&t).unwrap(), a);
+        assert_eq!(t.get(&[3, 1]).unwrap(), a.get(&[1, 3]).unwrap());
+    }
+
+    #[test]
+    fn transpose_commutes_with_matmul() {
+        // (A·B)^T == B^T·A^T
+        let a = Tensor::from_fn(&[2, 3], |ix| (ix[0] + 2 * ix[1]) as f32).unwrap();
+        let b = Tensor::from_fn(&[3, 4], |ix| (3 * ix[0] + ix[1]) as f32).unwrap();
+        let lhs = transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let rhs = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(dot(&a, &b).unwrap(), 32.0);
+        let c = Tensor::zeros(&[2]).unwrap();
+        assert!(dot(&a, &c).is_err());
+    }
+}

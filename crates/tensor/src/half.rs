@@ -1,0 +1,210 @@
+//! Software IEEE 754 binary16 (FP16) emulation.
+//!
+//! The paper uses FP16 for weights and activations (§V-A-2). Rust has no
+//! stable `f16`, so this module provides bit-exact conversions with
+//! round-to-nearest-even, plus a [`Tensor`] quantization helper used by the
+//! FP16 inference checks.
+
+use crate::Tensor;
+
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
+///
+/// Overflow saturates to ±infinity; NaNs map to a quiet NaN preserving the
+/// top payload bits; values below the smallest subnormal flush to ±0.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 | ((mant >> 13) as u16 & 0x01ff)
+        };
+    }
+
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1f {
+        // Overflow → infinity.
+        return sign | 0x7c00;
+    }
+    if half_exp <= 0 {
+        // Subnormal half (or zero). The effective mantissa includes the
+        // implicit leading bit; it is shifted right by (1 − half_exp)
+        // beyond the normal 13-bit truncation.
+        if half_exp < -10 {
+            return sign; // underflow to zero
+        }
+        let full = mant | 0x0080_0000; // implicit bit
+        let shift = (14 - half_exp) as u32;
+        let half_mant = (full >> shift) as u16;
+        let rem = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round_up = rem > halfway || (rem == halfway && (half_mant & 1) == 1);
+        return sign | (half_mant + u16::from(round_up));
+    }
+
+    // Normal half.
+    let half = ((half_exp as u32) << 10 | (mant >> 13)) as u16;
+    let rem = mant & 0x1fff;
+    let round_up = rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1);
+    // A mantissa carry correctly rolls into the exponent (and saturates to
+    // infinity at the top), because the fields are adjacent.
+    sign | (half + u16::from(round_up))
+}
+
+/// Converts IEEE 754 binary16 bits to `f32` (always exact).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let mant = u32::from(bits & 0x03ff);
+    let out = match exp {
+        0 => {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: value = mant · 2⁻²⁴ = 1.xxx · 2^(p−24) where
+                // p is the position of the mantissa's leading bit.
+                let p = 31 - mant.leading_zeros();
+                let f32_exp = p + 103; // (p − 24) + 127
+                let f32_mant = (mant << (23 - p)) & 0x007f_ffff;
+                sign | (f32_exp << 23) | f32_mant
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (mant << 13), // inf / NaN
+        _ => {
+            let f32_exp = (u32::from(exp) as i32 - 15 + 127) as u32;
+            sign | (f32_exp << 23) | (mant << 13)
+        }
+    };
+    f32::from_bits(out)
+}
+
+/// Rounds an `f32` through FP16 precision (the paper's numeric format).
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Returns a copy of `t` with every element rounded through FP16.
+pub fn quantize_tensor_f16(t: &Tensor) -> Tensor {
+    t.map(quantize_f16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(0.5), 0x3800);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16::MAX
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7c00); // rounds to +inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        // Smallest subnormal: 2^-24.
+        assert_eq!(f32_to_f16_bits(5.960_464_5e-8), 0x0001);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(f32_to_f16_bits(2.0e-8), 0x0000);
+    }
+
+    #[test]
+    fn known_decodings() {
+        assert_eq!(f16_bits_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f32(0xc000), -2.0);
+        assert_eq!(f16_bits_to_f32(0x7bff), 65504.0);
+        assert_eq!(f16_bits_to_f32(0x0001), 5.960_464_5e-8);
+        assert_eq!(f16_bits_to_f32(0x0000), 0.0);
+        assert!(f16_bits_to_f32(0x7c00).is_infinite());
+        assert!(f16_bits_to_f32(0x7e00).is_nan());
+        // Largest subnormal: (1023/1024)·2^-14.
+        let largest_sub = f16_bits_to_f32(0x03ff);
+        assert!((largest_sub - 6.097_555_e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+        // (1 + 2^-10); ties round to the even mantissa (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(halfway), 0x3c00);
+        // The next representable above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f32_to_f16_bits(above), 0x3c01);
+        // 1 + 3·2^-11 is halfway between 0x3c01 and 0x3c02 → even (0x3c02).
+        let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(halfway2), 0x3c02);
+    }
+
+    #[test]
+    fn mantissa_carry_rolls_into_exponent() {
+        // Just below 2.0: 1.9999999 rounds up to 2.0 (mantissa overflow).
+        assert_eq!(f32_to_f16_bits(1.999_999_9), 0x4000);
+        assert_eq!(f16_bits_to_f32(0x4000), 2.0);
+    }
+
+    #[test]
+    fn quantize_is_idempotent_and_bounded() {
+        for &x in &[0.1f32, -3.75, 123.456, 1e-5, -65000.0, 0.333_333] {
+            let q = quantize_f16(x);
+            assert_eq!(quantize_f16(q), q, "{x}");
+            // Relative error of one FP16 ulp ≈ 2^-11.
+            if x.abs() > 1e-4 {
+                assert!(((q - x) / x).abs() < 1.0 / 1024.0, "{x} → {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_quantization() {
+        let t = Tensor::from_vec(vec![0.1, 1.0, -2.5, 100.125], &[4]).unwrap();
+        let q = quantize_tensor_f16(&t);
+        assert_eq!(q.as_slice()[1], 1.0);
+        assert_eq!(q.as_slice()[2], -2.5);
+        assert!((q.as_slice()[0] - 0.1).abs() < 1e-4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Round trip: every f16 value decodes and re-encodes to itself
+        /// (NaN payloads excluded).
+        #[test]
+        fn f16_round_trip(bits in 0u16..=0xffff) {
+            let x = f16_bits_to_f32(bits);
+            if x.is_nan() {
+                prop_assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+            } else {
+                prop_assert_eq!(f32_to_f16_bits(x), bits);
+            }
+        }
+
+        /// Quantization is monotone on finite inputs.
+        #[test]
+        fn quantize_is_monotone(a in -1e4f32..1e4, b in -1e4f32..1e4) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(quantize_f16(lo) <= quantize_f16(hi));
+        }
+
+        /// Quantization error is within half an ulp (2^-11 relative for
+        /// normal values).
+        #[test]
+        fn quantize_error_bounded(x in -6e4f32..6e4) {
+            prop_assume!(x.abs() > 1e-3);
+            let q = quantize_f16(x);
+            prop_assert!(((q - x) / x).abs() <= 1.0 / 2048.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The `im2col` lowering and a direct-convolution golden model.
+//!
+//! §III-B of the paper: to run a 2D convolution on matrix hardware, each
+//! `K×K` input patch is flattened into one row of a larger matrix `A'`, and
+//! the kernel into a column vector, turning the convolution into a GEMM.
+//! For *depthwise* convolution that GEMM has a single output column, which is
+//! exactly why it utilizes only one column of a 2D systolic array.
+
+use crate::{gemm, Tensor, TensorError};
+
+/// Geometry of a 2-D sliding-window operation over a padded input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), fuseconv_tensor::TensorError> {
+/// use fuseconv_tensor::im2col::ConvGeometry;
+///
+/// let g = ConvGeometry::new(224, 224, 3, 3, 2, 1)?;
+/// assert_eq!((g.out_h(), g.out_w()), (112, 112));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    in_h: usize,
+    in_w: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry for an `in_h×in_w` input, a `k_h×k_w` kernel, a
+    /// common stride for both axes and symmetric zero padding `pad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroStride`] for `stride == 0`,
+    /// [`TensorError::ZeroDim`] for an empty input or kernel, and
+    /// [`TensorError::KernelTooLarge`] when the kernel does not fit in the
+    /// padded input.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        if stride == 0 {
+            return Err(TensorError::ZeroStride);
+        }
+        if in_h == 0 || in_w == 0 || k_h == 0 || k_w == 0 {
+            return Err(TensorError::ZeroDim {
+                dims: vec![in_h, in_w, k_h, k_w],
+            });
+        }
+        if k_h > in_h + 2 * pad {
+            return Err(TensorError::KernelTooLarge {
+                kernel: k_h,
+                input: in_h + 2 * pad,
+            });
+        }
+        if k_w > in_w + 2 * pad {
+            return Err(TensorError::KernelTooLarge {
+                kernel: k_w,
+                input: in_w + 2 * pad,
+            });
+        }
+        Ok(ConvGeometry {
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            pad,
+        })
+    }
+
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+
+    /// Kernel height.
+    pub fn k_h(&self) -> usize {
+        self.k_h
+    }
+
+    /// Kernel width.
+    pub fn k_w(&self) -> usize {
+        self.k_w
+    }
+
+    /// Stride (common to both axes).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Symmetric zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Output height: `(in_h + 2·pad − k_h)/stride + 1`.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
+    }
+
+    /// Output width: `(in_w + 2·pad − k_w)/stride + 1`.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
+    }
+
+    /// Reads the padded input at (possibly out-of-range) coordinates,
+    /// returning 0 in the halo.
+    fn padded(&self, slice: &[f32], y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.in_h || x as usize >= self.in_w {
+            0.0
+        } else {
+            slice[y as usize * self.in_w + x as usize]
+        }
+    }
+}
+
+/// Lowers a `[C, H, W]` input into the `im2col` patch matrix
+/// `[out_h·out_w, k_h·k_w·C]`.
+///
+/// Each row holds one receptive field, channels-major then kernel-row then
+/// kernel-column, so that multiplying by a flattened `[k_h·k_w·C, C_out]`
+/// filter matrix computes a standard convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `input` is rank-3 with
+/// `H`, `W` matching `geom`.
+pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    let d = input.shape().dims();
+    if d.len() != 3 || d[1] != geom.in_h || d[2] != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: d.to_vec(),
+            rhs: vec![geom.in_h, geom.in_w],
+        });
+    }
+    let c = d[0];
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let cols = geom.k_h * geom.k_w * c;
+    let mut out = vec![0.0f32; oh * ow * cols];
+    let plane = geom.in_h * geom.in_w;
+    let data = input.as_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+            let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+            for ch in 0..c {
+                let slice = &data[ch * plane..(ch + 1) * plane];
+                for ky in 0..geom.k_h {
+                    for kx in 0..geom.k_w {
+                        let col = ch * geom.k_h * geom.k_w + ky * geom.k_w + kx;
+                        out[row * cols + col] =
+                            geom.padded(slice, base_y + ky as isize, base_x + kx as isize);
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[oh * ow, cols])
+}
+
+/// Direct (nested-loop) 2-D convolution of a single channel — the golden
+/// model against which `im2col ∘ matmul` and the systolic simulator are
+/// validated.
+///
+/// `input` is `[H, W]`, `kernel` is `[k_h, k_w]`; the result is
+/// `[out_h, out_w]`. This is cross-correlation (no kernel flip), the deep
+/// learning convention, matching the paper's loop nest in Fig. 2(a).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the operand shapes disagree
+/// with `geom`.
+pub fn conv2d_direct(
+    input: &Tensor,
+    kernel: &Tensor,
+    geom: &ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    let (id, kd) = (input.shape().dims(), kernel.shape().dims());
+    if id != [geom.in_h, geom.in_w] || kd != [geom.k_h, geom.k_w] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_direct",
+            lhs: id.to_vec(),
+            rhs: kd.to_vec(),
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = vec![0.0f32; oh * ow];
+    let (iv, kv) = (input.as_slice(), kernel.as_slice());
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base_y = (oy * geom.stride) as isize - geom.pad as isize;
+            let base_x = (ox * geom.stride) as isize - geom.pad as isize;
+            let mut acc = 0.0;
+            for ky in 0..geom.k_h {
+                for kx in 0..geom.k_w {
+                    acc += kv[ky * geom.k_w + kx]
+                        * geom.padded(iv, base_y + ky as isize, base_x + kx as isize);
+                }
+            }
+            out[oy * ow + ox] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[oh, ow])
+}
+
+/// Convolution of one channel via `im2col` + GEMM. Exists so tests and the
+/// latency model can point at the exact lowering the paper discusses.
+///
+/// # Errors
+///
+/// Propagates errors from [`im2col`] and the GEMM.
+pub fn conv2d_via_im2col(
+    input: &Tensor,
+    kernel: &Tensor,
+    geom: &ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    let chw = input.reshape(&[1, geom.in_h, geom.in_w])?;
+    let patches = im2col(&chw, geom)?;
+    let kcol = kernel.reshape(&[geom.k_h * geom.k_w, 1])?;
+    let out = gemm::matmul(&patches, &kcol)?;
+    out.reshape(&[geom.out_h(), geom.out_w()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeometry {
+        ConvGeometry::new(h, w, k, k, s, p).unwrap()
+    }
+
+    #[test]
+    fn output_dims_match_formula() {
+        let g = geom(224, 224, 3, 2, 1);
+        assert_eq!((g.out_h(), g.out_w()), (112, 112));
+        let g = geom(5, 7, 3, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (3, 5));
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        assert!(matches!(
+            ConvGeometry::new(5, 5, 3, 3, 0, 0),
+            Err(TensorError::ZeroStride)
+        ));
+        assert!(matches!(
+            ConvGeometry::new(2, 5, 3, 3, 1, 0),
+            Err(TensorError::KernelTooLarge { .. })
+        ));
+        assert!(matches!(
+            ConvGeometry::new(5, 2, 3, 3, 1, 0),
+            Err(TensorError::KernelTooLarge { .. })
+        ));
+        assert!(ConvGeometry::new(2, 2, 3, 3, 1, 1).is_ok());
+        assert!(ConvGeometry::new(0, 5, 3, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_row_is_receptive_field() {
+        // 3x3 input, 2x2 kernel, stride 1, no padding: 4 patches.
+        let input = Tensor::from_fn(&[1, 3, 3], |ix| (ix[1] * 3 + ix[2]) as f32).unwrap();
+        let g = geom(3, 3, 2, 1, 0);
+        let patches = im2col(&input, &g).unwrap();
+        assert_eq!(patches.shape().dims(), &[4, 4]);
+        // Top-left patch.
+        assert_eq!(&patches.as_slice()[0..4], &[0.0, 1.0, 3.0, 4.0]);
+        // Bottom-right patch.
+        assert_eq!(&patches.as_slice()[12..16], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_padding_fills_zeros() {
+        let input = Tensor::full(&[1, 2, 2], 1.0).unwrap();
+        let g = geom(2, 2, 3, 1, 1);
+        let patches = im2col(&input, &g).unwrap();
+        assert_eq!(patches.shape().dims(), &[4, 9]);
+        // Patch at output (0,0) covers input rows -1..2, cols -1..2: the
+        // first row and column of the patch are halo zeros.
+        let p0 = &patches.as_slice()[0..9];
+        assert_eq!(p0, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn direct_equals_im2col_gemm() {
+        let g = geom(6, 5, 3, 1, 1);
+        let input = Tensor::from_fn(&[6, 5], |ix| ((ix[0] * 5 + ix[1]) % 7) as f32 - 3.0).unwrap();
+        let kernel = Tensor::from_fn(&[3, 3], |ix| (ix[0] as f32) - (ix[1] as f32) * 0.5).unwrap();
+        let direct = conv2d_direct(&input, &kernel, &g).unwrap();
+        let lowered = conv2d_via_im2col(&input, &kernel, &g).unwrap();
+        assert!(direct.max_abs_diff(&lowered).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn direct_equals_im2col_gemm_strided() {
+        let g = geom(9, 9, 3, 2, 1);
+        let input = Tensor::from_fn(&[9, 9], |ix| ((ix[0] + ix[1]) % 5) as f32).unwrap();
+        let kernel = Tensor::from_fn(&[3, 3], |ix| (ix[0] * 3 + ix[1]) as f32 * 0.1).unwrap();
+        let direct = conv2d_direct(&input, &kernel, &g).unwrap();
+        let lowered = conv2d_via_im2col(&input, &kernel, &g).unwrap();
+        assert_eq!(direct.shape().dims(), &[5, 5]);
+        assert!(direct.max_abs_diff(&lowered).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn multi_channel_patch_layout() {
+        let input = Tensor::from_fn(&[2, 2, 2], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32)
+            .unwrap();
+        let g = geom(2, 2, 2, 1, 0);
+        let patches = im2col(&input, &g).unwrap();
+        assert_eq!(patches.shape().dims(), &[1, 8]);
+        // Channel 0 patch then channel 1 patch.
+        assert_eq!(
+            patches.as_slice(),
+            &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
+        );
+    }
+
+    #[test]
+    fn one_d_row_kernel_geometry() {
+        // A Kx1 row filter is just ConvGeometry with k_h = 1.
+        let g = ConvGeometry::new(4, 6, 1, 3, 1, 0).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// im2col ∘ GEMM must agree with direct convolution for arbitrary
+        /// shapes, strides, paddings and inputs — the identity the paper's
+        /// §III-B mapping rests on.
+        #[test]
+        fn im2col_gemm_equals_direct(
+            h in 1usize..10,
+            w in 1usize..10,
+            k in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(k <= h + 2 * pad && k <= w + 2 * pad);
+            let g = ConvGeometry::new(h, w, k, k, stride, pad).unwrap();
+            let mut state = seed;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / u32::MAX as f32) - 0.5
+            };
+            let input = Tensor::from_fn(&[h, w], |_| next()).unwrap();
+            let kernel = Tensor::from_fn(&[k, k], |_| next()).unwrap();
+            let direct = conv2d_direct(&input, &kernel, &g).unwrap();
+            let lowered = conv2d_via_im2col(&input, &kernel, &g).unwrap();
+            prop_assert!(direct.max_abs_diff(&lowered).unwrap() < 1e-4);
+        }
+
+        /// Output extents never exceed padded input extents.
+        #[test]
+        fn output_dims_bounded(
+            h in 1usize..64,
+            w in 1usize..64,
+            k in 1usize..8,
+            stride in 1usize..4,
+            pad in 0usize..3,
+        ) {
+            prop_assume!(k <= h + 2 * pad && k <= w + 2 * pad);
+            let g = ConvGeometry::new(h, w, k, k, stride, pad).unwrap();
+            prop_assert!(g.out_h() >= 1 && g.out_h() <= h + 2 * pad);
+            prop_assert!(g.out_w() >= 1 && g.out_w() <= w + 2 * pad);
+        }
+    }
+}

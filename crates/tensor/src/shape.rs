@@ -1,0 +1,167 @@
+//! Shape algebra for dense tensors.
+
+use crate::TensorError;
+use std::fmt;
+
+/// The extents of a dense, row-major tensor.
+///
+/// A `Shape` is a short list of strictly positive dimension sizes. Row-major
+/// (C-order) layout is assumed everywhere in the workspace: the last
+/// dimension is contiguous in memory.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), fuseconv_tensor::TensorError> {
+/// use fuseconv_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4])?;
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from the given dimension sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ZeroDim`] if any dimension is zero. A
+    /// zero-dimensional (scalar) shape is allowed and has volume 1.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.contains(&0) {
+            return Err(TensorError::ZeroDim {
+                dims: dims.to_vec(),
+            });
+        }
+        Ok(Shape {
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-index into a linear offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong
+    /// rank or any coordinate exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len()
+            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        Ok(index
+            .iter()
+            .zip(self.strides())
+            .map(|(&i, s)| i * s)
+            .sum())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl TryFrom<&[usize]> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: &[usize]) -> Result<Self, Self::Error> {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_volume_one() {
+        let s = Shape::new(&[]).unwrap();
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(matches!(
+            Shape::new(&[3, 0]),
+            Err(TensorError::ZeroDim { .. })
+        ));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank_and_bounds() {
+        let s = Shape::new(&[2, 2]).unwrap();
+        assert!(s.offset(&[1]).is_err());
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn display_formats_extents() {
+        let s = Shape::new(&[4, 5]).unwrap();
+        assert_eq!(s.to_string(), "[4x5]");
+    }
+
+    #[test]
+    fn offsets_enumerate_volume_densely() {
+        let s = Shape::new(&[3, 4]).unwrap();
+        let mut seen = vec![false; s.volume()];
+        for i in 0..3 {
+            for j in 0..4 {
+                seen[s.offset(&[i, j]).unwrap()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

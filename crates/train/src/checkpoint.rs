@@ -1,0 +1,265 @@
+//! Weight checkpointing: a compact, versioned binary format for
+//! [`Sequential`] parameters.
+//!
+//! The format is deliberately simple — magic, version, parameter count,
+//! then per parameter its shape and little-endian `f32` payload — so a
+//! checkpoint written by one session loads bit-exactly in another, and
+//! corruption or architecture mismatches are caught before any weight is
+//! touched.
+
+use crate::Sequential;
+use bytes::{Buf, BufMut, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"FSCW";
+const VERSION: u16 = 1;
+
+/// Error loading a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The payload does not start with the checkpoint magic.
+    BadMagic,
+    /// The payload's format version is unsupported.
+    BadVersion {
+        /// Version found in the payload.
+        found: u16,
+    },
+    /// The payload ended before all declared data was read.
+    Truncated,
+    /// The checkpoint's parameter list does not match the network's.
+    ShapeMismatch {
+        /// 0-based parameter index where the mismatch occurred.
+        index: usize,
+        /// Shape stored in the checkpoint.
+        stored: Vec<usize>,
+        /// Shape the network expects.
+        expected: Vec<usize>,
+    },
+    /// The checkpoint has a different number of parameters than the
+    /// network.
+    CountMismatch {
+        /// Parameters in the checkpoint.
+        stored: usize,
+        /// Parameters in the network.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a fuseconv checkpoint (bad magic)"),
+            CheckpointError::BadVersion { found } => {
+                write!(f, "unsupported checkpoint version {found}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint payload is truncated"),
+            CheckpointError::ShapeMismatch {
+                index,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "parameter {index} shape mismatch: checkpoint has {stored:?}, network expects {expected:?}"
+            ),
+            CheckpointError::CountMismatch { stored, expected } => write!(
+                f,
+                "checkpoint has {stored} parameters, network expects {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// Serializes every parameter of `net` into a checkpoint payload.
+pub fn save(net: &mut Sequential) -> Vec<u8> {
+    let params = net.params_mut();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let dims = p.value.shape().dims();
+        buf.put_u8(dims.len() as u8);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Restores every parameter of `net` from a checkpoint payload. Gradients
+/// are zeroed. The network's architecture must match the checkpoint's
+/// exactly; nothing is written on error.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on corrupt payloads or architecture
+/// mismatches.
+pub fn load(net: &mut Sequential, payload: &[u8]) -> Result<(), CheckpointError> {
+    let mut buf = payload;
+    if buf.remaining() < MAGIC.len() + 2 + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion { found: version });
+    }
+    let stored_count = buf.get_u32_le() as usize;
+    let mut params = net.params_mut();
+    if stored_count != params.len() {
+        return Err(CheckpointError::CountMismatch {
+            stored: stored_count,
+            expected: params.len(),
+        });
+    }
+
+    // Two passes: validate everything, then write — so an error leaves the
+    // network untouched.
+    let mut values: Vec<Vec<f32>> = Vec::with_capacity(stored_count);
+    for (index, p) in params.iter().enumerate() {
+        if buf.remaining() < 1 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rank = buf.get_u8() as usize;
+        if buf.remaining() < rank * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+        let expected = p.value.shape().dims().to_vec();
+        if dims != expected {
+            return Err(CheckpointError::ShapeMismatch {
+                index,
+                stored: dims,
+                expected,
+            });
+        }
+        let volume: usize = dims.iter().product::<usize>().max(1);
+        let volume = if dims.is_empty() { 1 } else { volume };
+        if buf.remaining() < volume * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        values.push((0..volume).map(|_| buf.get_f32_le()).collect());
+    }
+    for (p, vals) in params.iter_mut().zip(values) {
+        p.value.as_mut_slice().copy_from_slice(&vals);
+        p.zero_grad();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActivationLayer, DenseLayer, GlobalPoolLayer, PointwiseLayer};
+    use fuseconv_tensor::Tensor;
+
+    fn net() -> Sequential {
+        let mut n = Sequential::new();
+        n.push(PointwiseLayer::new(2, 4, 11));
+        n.push(ActivationLayer::relu());
+        n.push(GlobalPoolLayer::new());
+        n.push(DenseLayer::new(4, 3, 12));
+        n
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let mut a = net();
+        let payload = save(&mut a);
+        let mut b = net();
+        // Differently seeded copy: perturb b first to prove load overwrites.
+        for p in b.params_mut() {
+            for v in p.value.as_mut_slice() {
+                *v += 1.0;
+            }
+        }
+        load(&mut b, &payload).unwrap();
+        let x = Tensor::from_fn(&[2, 4, 4], |ix| (ix[1] + 2 * ix[2]) as f32 * 0.1).unwrap();
+        let ya = a.forward(&x).unwrap();
+        let yb = b.forward(&x).unwrap();
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let mut n = net();
+        assert_eq!(load(&mut n, b"nope"), Err(CheckpointError::Truncated));
+        assert_eq!(
+            load(&mut n, b"XXXX\x01\x00\x00\x00\x00\x00"),
+            Err(CheckpointError::BadMagic)
+        );
+        let mut payload = save(&mut n);
+        payload.truncate(payload.len() - 3);
+        assert_eq!(load(&mut n, &payload), Err(CheckpointError::Truncated));
+        // Bad version.
+        let mut payload = save(&mut n);
+        payload[4] = 99;
+        assert!(matches!(
+            load(&mut n, &payload),
+            Err(CheckpointError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch_without_writing() {
+        let mut a = net();
+        let payload = save(&mut a);
+        // A different architecture: dense is 4→5 instead of 4→3.
+        let mut b = Sequential::new();
+        b.push(PointwiseLayer::new(2, 4, 11));
+        b.push(GlobalPoolLayer::new());
+        b.push(DenseLayer::new(4, 5, 12));
+        let before: Vec<f32> = b.params_mut()[0].value.as_slice().to_vec();
+        let err = load(&mut b, &payload).unwrap_err();
+        // Parameter order: pointwise weight (0), dense weight (1), dense
+        // bias (2); the dense weight is the first mismatch.
+        assert!(matches!(err, CheckpointError::ShapeMismatch { index: 1, .. }));
+        assert_eq!(b.params_mut()[0].value.as_slice(), &before[..]);
+        // Wrong parameter count.
+        let mut c = Sequential::new();
+        c.push(GlobalPoolLayer::new());
+        c.push(DenseLayer::new(2, 3, 0));
+        assert!(matches!(
+            load(&mut c, &payload),
+            Err(CheckpointError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_resumes_training_identically() {
+        use crate::dataset::OrientedTextures;
+        use crate::trainer::{train, TrainConfig};
+        let data = OrientedTextures::new(8, 2).generate(16, 3);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            base_lr: 0.01,
+            ema_decay: None,
+            seed: 5,
+        };
+        // Train a, checkpoint, keep training a; also load into b and do
+        // the same continuation — identical results.
+        let mut a = crate::trainer::tests_support::small_cnn(2);
+        let _ = train(&mut a, &data, &data, &cfg).unwrap();
+        let snap = save(&mut a);
+        let ra = train(&mut a, &data, &data, &cfg).unwrap();
+        let mut b = crate::trainer::tests_support::small_cnn(2);
+        load(&mut b, &snap).unwrap();
+        let rb = train(&mut b, &data, &data, &cfg).unwrap();
+        assert_eq!(ra.test_accuracy, rb.test_accuracy);
+        for (ea, eb) in ra.epochs.iter().zip(&rb.epochs) {
+            assert!((ea.loss - eb.loss).abs() < 1e-6);
+        }
+    }
+}

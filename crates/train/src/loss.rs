@@ -1,0 +1,131 @@
+//! Softmax cross-entropy loss.
+
+use fuseconv_nn::NnError;
+use fuseconv_tensor::Tensor;
+
+/// Numerically stable softmax of a logit vector.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] unless the input is rank-1.
+pub fn softmax(logits: &Tensor) -> Result<Tensor, NnError> {
+    let d = logits.shape().dims();
+    if d.len() != 1 {
+        return Err(NnError::BadInput {
+            layer: "softmax",
+            expected: "[classes]".into(),
+            actual: d.to_vec(),
+        });
+    }
+    let max = logits
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.as_slice().iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Ok(Tensor::from_vec(
+        exps.into_iter().map(|e| e / sum).collect(),
+        d,
+    )?)
+}
+
+/// Cross-entropy loss of `logits` against a target class, returning
+/// `(loss, grad_logits)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] for a non-vector input or an out-of-range
+/// target.
+pub fn cross_entropy(logits: &Tensor, target: usize) -> Result<(f32, Tensor), NnError> {
+    let probs = softmax(logits)?;
+    let n = probs.shape().dims()[0];
+    if target >= n {
+        return Err(NnError::BadInput {
+            layer: "cross_entropy",
+            expected: format!("target < {n}"),
+            actual: vec![target],
+        });
+    }
+    let p = probs.as_slice()[target].max(1e-12);
+    let loss = -p.ln();
+    let mut grad = probs.as_slice().to_vec();
+    grad[target] -= 1.0;
+    Ok((loss, Tensor::from_vec(grad, &[n])?))
+}
+
+/// Index of the largest logit.
+///
+/// # Panics
+///
+/// Panics on an empty tensor (impossible for [`Tensor`], whose dimensions
+/// are nonzero).
+pub fn argmax(logits: &Tensor) -> usize {
+    logits
+        .as_slice()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits must not be NaN"))
+        .map(|(i, _)| i)
+        .expect("tensor is nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 2.0], &[3]).unwrap();
+        let p = softmax(&t).unwrap();
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.as_slice()[1] > p.as_slice()[2]);
+        assert!(p.as_slice()[2] > p.as_slice()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0], &[2]).unwrap();
+        let p = softmax(&a).unwrap();
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let q = softmax(&b).unwrap();
+        assert!(p.max_abs_diff(&q).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1], &[4]).unwrap();
+        let (loss, grad) = cross_entropy(&logits, 2).unwrap();
+        assert!(loss > 0.0);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (cross_entropy(&lp, 2).unwrap().0 - cross_entropy(&lm, 2).unwrap().0)
+                / (2.0 * eps);
+            assert!((fd - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap();
+        let (loss, _) = cross_entropy(&logits, 0).unwrap();
+        assert!(loss < 1e-3);
+        let (bad_loss, _) = cross_entropy(&logits, 1).unwrap();
+        assert!(bad_loss > 5.0);
+    }
+
+    #[test]
+    fn argmax_and_validation() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5], &[3]).unwrap();
+        assert_eq!(argmax(&t), 1);
+        assert!(cross_entropy(&t, 3).is_err());
+        let mat = Tensor::zeros(&[2, 2]).unwrap();
+        assert!(softmax(&mat).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Optimizers and schedules from the paper's training recipe (§V-A-2):
+//! RMSProp with momentum 0.9, exponential learning-rate decay, weight decay
+//! and an exponential moving average of the weights.
+
+use crate::layers::Param;
+
+/// Plain SGD with optional momentum — the reference optimizer used in
+/// tests.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the learning rate (schedules call this between epochs).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to the parameters. Parameter order must be stable
+    /// across calls (it is, for a fixed network).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| vec![0.0; p.value.shape().volume()])
+                .collect();
+        }
+        for (p, vel) in params.iter_mut().zip(&mut self.velocity) {
+            let g = p.grad.as_slice().to_vec();
+            for ((w, v), g) in p.value.as_mut_slice().iter_mut().zip(vel).zip(&g) {
+                *v = self.momentum * *v + g;
+                *w -= self.lr * *v;
+            }
+        }
+    }
+}
+
+/// RMSProp with momentum — the paper's optimizer (`rmsprop`, momentum 0.9,
+/// weight decay 1e-5).
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    rho: f32,
+    momentum: f32,
+    eps: f32,
+    weight_decay: f32,
+    sq_avg: Vec<Vec<f32>>,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl RmsProp {
+    /// Creates an optimizer with the paper's hyper-parameters apart from
+    /// the learning rate: `rho = 0.9`, `momentum = 0.9`, `eps = 1e-3`,
+    /// `weight_decay = 1e-5`.
+    pub fn new(lr: f32) -> Self {
+        RmsProp {
+            lr,
+            rho: 0.9,
+            momentum: 0.9,
+            eps: 1e-3,
+            weight_decay: 1e-5,
+            sq_avg: Vec::new(),
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Overrides the weight decay.
+    #[must_use]
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (schedules call this between epochs).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.sq_avg.len() != params.len() {
+            self.sq_avg = params
+                .iter()
+                .map(|p| vec![0.0; p.value.shape().volume()])
+                .collect();
+            self.velocity = self.sq_avg.clone();
+        }
+        for ((p, sq), vel) in params
+            .iter_mut()
+            .zip(&mut self.sq_avg)
+            .zip(&mut self.velocity)
+        {
+            let grads = p.grad.as_slice().to_vec();
+            let values = p.value.as_mut_slice();
+            for i in 0..values.len() {
+                let g = grads[i] + self.weight_decay * values[i];
+                sq[i] = self.rho * sq[i] + (1.0 - self.rho) * g * g;
+                let update = g / (sq[i].sqrt() + self.eps);
+                vel[i] = self.momentum * vel[i] + update;
+                values[i] -= self.lr * vel[i];
+            }
+        }
+    }
+}
+
+/// Exponential learning-rate decay: `lr₀ · rate^(epoch / every)` — the
+/// paper decays by 0.97 every 2.4 epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpDecay {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Multiplicative decay factor.
+    pub rate: f32,
+    /// Epoch period of one decay step (fractional allowed).
+    pub every: f32,
+}
+
+impl ExpDecay {
+    /// The paper's schedule: decay 0.97 every 2.4 epochs.
+    pub fn paper(base_lr: f32) -> Self {
+        ExpDecay {
+            base_lr,
+            rate: 0.97,
+            every: 2.4,
+        }
+    }
+
+    /// Learning rate at the given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.rate.powf(epoch as f32 / self.every)
+    }
+}
+
+/// Exponential moving average of all weights (paper decay: 0.9999). The
+/// shadow weights are evaluated in place of the live ones at test time.
+#[derive(Debug, Clone)]
+pub struct WeightEma {
+    decay: f32,
+    shadow: Vec<Vec<f32>>,
+}
+
+impl WeightEma {
+    /// Creates a tracker with the given decay.
+    pub fn new(decay: f32) -> Self {
+        WeightEma {
+            decay,
+            shadow: Vec::new(),
+        }
+    }
+
+    /// Updates the shadow copies after an optimizer step.
+    pub fn update(&mut self, params: &mut [&mut Param]) {
+        if self.shadow.len() != params.len() {
+            self.shadow = params.iter().map(|p| p.value.as_slice().to_vec()).collect();
+            return;
+        }
+        for (p, s) in params.iter().zip(&mut self.shadow) {
+            for (sv, &w) in s.iter_mut().zip(p.value.as_slice()) {
+                *sv = self.decay * *sv + (1.0 - self.decay) * w;
+            }
+        }
+    }
+
+    /// Swaps live weights and shadow weights (call once before evaluation
+    /// and once after to restore).
+    pub fn swap(&mut self, params: &mut [&mut Param]) {
+        for (p, s) in params.iter_mut().zip(&mut self.shadow) {
+            for (w, sv) in p.value.as_mut_slice().iter_mut().zip(s.iter_mut()) {
+                std::mem::swap(w, sv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_tensor::Tensor;
+
+    fn param(values: &[f32]) -> Param {
+        Param::new(Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap())
+    }
+
+    /// Minimizing f(w) = w² from w=1 must converge toward 0.
+    fn quad_test<F: FnMut(&mut [&mut Param])>(mut step: F) -> f32 {
+        let mut p = param(&[1.0]);
+        for _ in 0..200 {
+            let w = p.value.as_slice()[0];
+            p.zero_grad();
+            p.grad.as_mut_slice()[0] = 2.0 * w;
+            let mut refs = [&mut p];
+            step(&mut refs);
+        }
+        p.value.as_slice()[0].abs()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.0);
+        assert!(quad_test(|ps| opt.step(ps)) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_minimizes_quadratic() {
+        let mut opt = Sgd::new(0.02, 0.9);
+        assert!(quad_test(|ps| opt.step(ps)) < 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_minimizes_quadratic() {
+        let mut opt = RmsProp::new(0.01).with_weight_decay(0.0);
+        assert!(quad_test(|ps| opt.step(ps)) < 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_adapts_to_gradient_scale() {
+        // Two coordinates with gradients differing by 1000x: RMSProp's
+        // normalized steps move both at a similar pace, unlike plain SGD.
+        let mut p = param(&[1.0, 1.0]);
+        let mut opt = RmsProp::new(0.01).with_weight_decay(0.0);
+        for _ in 0..50 {
+            p.zero_grad();
+            let w = p.value.as_slice().to_vec();
+            p.grad.as_mut_slice()[0] = 2000.0 * w[0];
+            p.grad.as_mut_slice()[1] = 2.0 * w[1];
+            let mut refs = [&mut p];
+            opt.step(&mut refs);
+        }
+        let w = p.value.as_slice();
+        assert!(
+            (w[0].abs() - w[1].abs()).abs() < 0.3,
+            "coordinates should decay comparably, got {w:?}"
+        );
+    }
+
+    #[test]
+    fn exp_decay_schedule() {
+        let s = ExpDecay::paper(0.016);
+        assert!((s.lr_at(0) - 0.016).abs() < 1e-9);
+        // After 2.4 epochs exactly one decay step.
+        let l24 = s.base_lr * 0.97;
+        assert!((s.lr_at(24) - s.base_lr * 0.97f32.powf(10.0)).abs() < 1e-6);
+        assert!(s.lr_at(3) < s.lr_at(2));
+        assert!((s.lr_at(2) * 0.97 - s.lr_at(2) / (1.0 / 0.97)).abs() < 1e-9);
+        let _ = l24;
+    }
+
+    #[test]
+    fn ema_tracks_and_swaps() {
+        let mut p = param(&[0.0]);
+        let mut ema = WeightEma::new(0.5);
+        {
+            let mut refs = [&mut p];
+            ema.update(&mut refs); // initializes shadow to 0.0
+        }
+        p.value.as_mut_slice()[0] = 1.0;
+        {
+            let mut refs = [&mut p];
+            ema.update(&mut refs); // shadow = 0.5*0 + 0.5*1 = 0.5
+        }
+        {
+            let mut refs = [&mut p];
+            ema.swap(&mut refs);
+        }
+        assert!((p.value.as_slice()[0] - 0.5).abs() < 1e-6);
+        {
+            let mut refs = [&mut p];
+            ema.swap(&mut refs);
+        }
+        assert!((p.value.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+}

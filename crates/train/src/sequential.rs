@@ -1,0 +1,208 @@
+//! A sequential container of layers.
+
+use crate::layers::{Layer, Param};
+use fuseconv_nn::NnError;
+use fuseconv_tensor::Tensor;
+
+/// An ordered stack of layers trained end to end.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), fuseconv_nn::NnError> {
+/// use fuseconv_train::layers::{ActivationLayer, DenseLayer, GlobalPoolLayer};
+/// use fuseconv_train::Sequential;
+/// use fuseconv_tensor::Tensor;
+///
+/// let mut net = Sequential::new();
+/// net.push(GlobalPoolLayer::new());
+/// net.push(DenseLayer::new(3, 2, 0));
+/// let x = Tensor::full(&[3, 4, 4], 1.0)?;
+/// let y = net.forward(&x)?;
+/// assert_eq!(y.shape().dims(), &[2]);
+/// # let _ = ActivationLayer::relu();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs all layers in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Backpropagates through all layers in reverse order, accumulating
+    /// parameter gradients; returns the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error (e.g. backward before forward).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// All trainable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Multiplies every accumulated gradient by `scale` (used to average
+    /// over a batch).
+    pub fn scale_grads(&mut self, scale: f32) {
+        for p in self.params_mut() {
+            for g in p.grad.as_mut_slice() {
+                *g *= scale;
+            }
+        }
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut()
+            .iter()
+            .map(|p| p.value.shape().volume())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActivationLayer, DenseLayer, GlobalPoolLayer, PointwiseLayer};
+    use crate::loss::cross_entropy;
+    use crate::optim::Sgd;
+
+    fn tiny_net() -> Sequential {
+        let mut net = Sequential::new();
+        net.push(PointwiseLayer::new(2, 4, 1));
+        net.push(ActivationLayer::relu());
+        net.push(GlobalPoolLayer::new());
+        net.push(DenseLayer::new(4, 3, 2));
+        net
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = tiny_net();
+        assert_eq!(net.len(), 4);
+        assert!(!net.is_empty());
+        let x = Tensor::full(&[2, 4, 4], 0.5).unwrap();
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[3]);
+        let g = Tensor::full(&[3], 1.0).unwrap();
+        let gx = net.backward(&g).unwrap();
+        assert_eq!(gx.shape().dims(), &[2, 4, 4]);
+    }
+
+    #[test]
+    fn params_enumerated_in_order() {
+        let mut net = tiny_net();
+        // pointwise weight + dense weight + dense bias.
+        assert_eq!(net.params_mut().len(), 3);
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn zero_and_scale_grads() {
+        let mut net = tiny_net();
+        let x = Tensor::full(&[2, 4, 4], 0.5).unwrap();
+        let y = net.forward(&x).unwrap();
+        let (_, g) = cross_entropy(&y, 0).unwrap();
+        net.backward(&g).unwrap();
+        let before: f32 = net.params_mut()[0].grad.as_slice().iter().sum();
+        net.scale_grads(0.5);
+        let after: f32 = net.params_mut()[0].grad.as_slice().iter().sum();
+        assert!((after - before * 0.5).abs() < 1e-6);
+        net.zero_grad();
+        assert!(net.params_mut()[0].grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn one_training_step_reduces_loss() {
+        let mut net = tiny_net();
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = Tensor::from_fn(&[2, 4, 4], |ix| (ix[0] as f32) - 0.4).unwrap();
+        let loss_of = |net: &mut Sequential| {
+            let y = net.forward(&x).unwrap();
+            cross_entropy(&y, 1).unwrap().0
+        };
+        let before = loss_of(&mut net);
+        for _ in 0..10 {
+            net.zero_grad();
+            let y = net.forward(&x).unwrap();
+            let (_, g) = cross_entropy(&y, 1).unwrap();
+            net.backward(&g).unwrap();
+            let mut params = net.params_mut();
+            opt.step(&mut params);
+        }
+        let after = loss_of(&mut net);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let net = tiny_net();
+        let s = format!("{net:?}");
+        assert!(s.contains("pointwise"));
+        assert!(s.contains("dense"));
+    }
+}

@@ -1,0 +1,80 @@
+//! The Table I accuracy column, on the synthetic substitute task: trains
+//! the same small CNN with depthwise, FuSe-Full and FuSe-Half spatial
+//! stages on oriented-texture classification (12 orientations, 15° apart —
+//! hard enough that capacity differences show) and reports held-out
+//! accuracy averaged over several seeds, next to the paper's ImageNet
+//! observations.
+//!
+//! ```text
+//! cargo run --release --example accuracy_study
+//! ```
+
+use fuseconv::core::experiments::{accuracy_study, AccuracyConfig};
+use fuseconv::core::paper;
+use fuseconv::core::variant::Variant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SEEDS: [u64; 3] = [7, 21, 99];
+    let base_cfg = AccuracyConfig {
+        train_samples: 256,
+        test_samples: 96,
+        classes: 12,
+        epochs: 10,
+        ..AccuracyConfig::default()
+    };
+    println!(
+        "training 3 variants x {} seeds on {} oriented-texture samples \
+         ({} classes, {} epochs)…\n",
+        SEEDS.len(),
+        base_cfg.train_samples,
+        base_cfg.classes,
+        base_cfg.epochs
+    );
+
+    let variants = [Variant::Baseline, Variant::FuseFull, Variant::FuseHalf];
+    let mut sums = [0.0f64; 3];
+    let mut mins = [1.0f64; 3];
+    let mut maxs = [0.0f64; 3];
+    let mut params = [0usize; 3];
+    for &seed in &SEEDS {
+        let rows = accuracy_study(&AccuracyConfig { seed, ..base_cfg })?;
+        for (slot, v) in variants.iter().enumerate() {
+            let row = rows.iter().find(|r| r.variant == *v).expect("present");
+            sums[slot] += row.accuracy;
+            mins[slot] = mins[slot].min(row.accuracy);
+            maxs[slot] = maxs[slot].max(row.accuracy);
+            params[slot] = row.params;
+        }
+    }
+
+    println!(
+        "{:<12} {:>10} {:>15} {:>9} | paper's ImageNet delta vs baseline (MobileNet-V2)",
+        "variant", "mean acc", "range", "params"
+    );
+    println!("{}", "-".repeat(96));
+    let paper_base = paper::lookup("MobileNet-V2", Variant::Baseline)
+        .expect("table row")
+        .imagenet_accuracy;
+    for (slot, v) in variants.iter().enumerate() {
+        let mean = sums[slot] / SEEDS.len() as f64;
+        let paper_note = paper::lookup("MobileNet-V2", *v)
+            .map(|p| format!("{:+.2}%", p.imagenet_accuracy - paper_base))
+            .unwrap_or_else(|| "–".into());
+        println!(
+            "{:<12} {:>9.1}% {:>6.1}%–{:>5.1}% {:>9} | {}",
+            v.to_string(),
+            mean * 100.0,
+            mins[slot] * 100.0,
+            maxs[slot] * 100.0,
+            params[slot],
+            paper_note
+        );
+    }
+    println!(
+        "\nexpected shape (Table I): Full tracks the baseline while Half, with \
+         the fewest parameters, trails — the paper's capacity ordering. Per-seed \
+         variance at this model scale exceeds ImageNet's 1-2% deltas, hence the \
+         seed averaging."
+    );
+    Ok(())
+}

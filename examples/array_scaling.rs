@@ -1,0 +1,47 @@
+//! Regenerates Fig. 8(d): Full-variant speed-up versus systolic-array size
+//! for all five networks.
+//!
+//! ```text
+//! cargo run --release --example array_scaling
+//! ```
+
+use fuseconv::core::experiments::array_scaling;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = [8usize, 16, 32, 64, 128];
+    let rows = array_scaling(&sizes)?;
+
+    // Pivot: one line per network, one column per size (rows arrive
+    // ordered by size, so keep first occurrences only).
+    let networks: Vec<String> = {
+        let mut names: Vec<String> = Vec::new();
+        for r in &rows {
+            if !names.contains(&r.network) {
+                names.push(r.network.clone());
+            }
+        }
+        names
+    };
+    print!("{:<22}", "network \\ array");
+    for s in sizes {
+        print!("{:>10}", format!("{s}x{s}"));
+    }
+    println!();
+    println!("{}", "-".repeat(22 + 10 * sizes.len()));
+    for net in &networks {
+        print!("{net:<22}");
+        for s in sizes {
+            let row = rows
+                .iter()
+                .find(|r| &r.network == net && r.array_size == s)
+                .expect("complete sweep");
+            print!("{:>9.2}x", row.speedup);
+        }
+        println!();
+    }
+    println!(
+        "\nexpected shape (Fig. 8(d)): speed-up grows with array size; the larger, \
+         older MobileNet-V1 scales better than MobileNet-V3-Small."
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Write every latency-side experiment to CSV files under `./reports/`,
+//! SCALE-Sim style, for plotting or diffing outside Rust.
+//!
+//! ```text
+//! cargo run --release --example export_reports
+//! ```
+
+use fuseconv::core::report;
+use fuseconv::systolic::ArrayConfig;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let array = ArrayConfig::square(64)?.with_broadcast(true);
+    let written = report::write_all(Path::new("reports"), &array)?;
+    println!("wrote {} report files:", written.len());
+    for path in &written {
+        let lines = std::fs::read_to_string(path)?.lines().count();
+        println!("  {} ({} lines)", path.display(), lines);
+    }
+    Ok(())
+}

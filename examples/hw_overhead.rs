@@ -1,0 +1,37 @@
+//! Regenerates §V-B-5: area/power overhead of the row weight-broadcast
+//! links, per array size, from the structural 45 nm cost model.
+//!
+//! ```text
+//! cargo run --example hw_overhead
+//! ```
+
+use fuseconv::core::experiments::hw_overhead;
+use fuseconv::core::paper::HW_OVERHEAD_32X32;
+use fuseconv::hwcost::TechnologyProfile;
+
+fn main() {
+    let sizes = [8usize, 16, 32, 64, 128, 256];
+    let tech = TechnologyProfile::nangate45();
+
+    println!("broadcast-link overhead by array size (structural 45nm model)\n");
+    println!(
+        "{:>9} {:>14} {:>14} {:>12} {:>12}",
+        "array", "base area mm2", "bcast area mm2", "area ovh", "power ovh"
+    );
+    for (s, overhead) in hw_overhead(&sizes) {
+        let base = tech.array_cost(s, s, false);
+        let bcast = tech.array_cost(s, s, true);
+        println!(
+            "{:>9} {:>14.3} {:>14.3} {:>11.2}% {:>11.2}%",
+            format!("{s}x{s}"),
+            base.area_mm2(),
+            bcast.area_mm2(),
+            overhead.area_pct,
+            overhead.power_pct
+        );
+    }
+    println!(
+        "\npaper (synthesized 32x32, NanGate 45nm): area +{:.2}%, power +{:.2}%",
+        HW_OVERHEAD_32X32.0, HW_OVERHEAD_32X32.1
+    );
+}

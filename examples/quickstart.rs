@@ -1,0 +1,39 @@
+//! Quickstart: transform a MobileNet with FuSeConv and measure the
+//! speed-up on a 64×64 systolic array.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fuseconv::core::variant::{apply_variant, Variant};
+use fuseconv::latency::{estimate_network, LatencyModel};
+use fuseconv::models::zoo;
+use fuseconv::systolic::ArrayConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's setting: a 64x64 output-stationary array, extended with
+    // the per-row weight-broadcast links FuSeConv needs (§IV-C).
+    let array = ArrayConfig::square(64)?.with_broadcast(true);
+    let model = LatencyModel::new(array);
+
+    // Take a baseline network...
+    let baseline = zoo::mobilenet_v2();
+    let base_report = estimate_network(&model, &baseline)?;
+    println!("{baseline}");
+    println!("  baseline latency: {} cycles", base_report.total_cycles);
+
+    // ...and drop in FuSeConv layers (the paper's Half variant).
+    let fused = apply_variant(&baseline, Variant::FuseHalf, &array)?;
+    let fused_report = estimate_network(&model, &fused)?;
+    println!("{fused}");
+    println!("  fused latency:    {} cycles", fused_report.total_cycles);
+    println!(
+        "  speed-up:         {:.2}x (paper reports 7.23x on its latency model)",
+        fused_report.speedup_over(&base_report)
+    );
+
+    // Where did the time go? (Fig. 8(c)'s story in two lines.)
+    println!("\nbaseline latency by operator class:\n{}", base_report.breakdown());
+    println!("fused latency by operator class:\n{}", fused_report.breakdown());
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Regenerates Table I: MACs, parameters, latency (Fig. 8(a)) and speed-up
+//! for all five networks × five variants on a 64×64 array, printed next to
+//! the paper's published numbers.
+//!
+//! ```text
+//! cargo run --release --example table1
+//! ```
+
+use fuseconv::core::experiments::table1;
+use fuseconv::core::paper;
+use fuseconv::systolic::ArrayConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let array = ArrayConfig::square(64)?.with_broadcast(true);
+    let rows = table1(&array)?;
+
+    println!(
+        "{:<20} {:<14} | {:>9} {:>9} | {:>9} {:>9} | {:>12} | {:>8} {:>8}",
+        "network", "variant", "MACs(M)", "paper", "par(M)", "paper", "cycles", "speedup", "paper"
+    );
+    println!("{}", "-".repeat(124));
+    for row in &rows {
+        let paper_row = paper::lookup(&row.network, row.variant);
+        let (pm, pp, ps) = paper_row
+            .map(|p| (p.macs_millions, p.params_millions, p.speedup))
+            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        println!(
+            "{:<20} {:<14} | {:>9.0} {:>9.0} | {:>9.2} {:>9.2} | {:>12} | {:>7.2}x {:>7.2}x",
+            row.network,
+            row.variant.to_string(),
+            row.macs_millions,
+            pm,
+            row.params_millions,
+            pp,
+            row.latency_cycles,
+            row.speedup,
+            ps
+        );
+    }
+    println!(
+        "\nnote: measured speed-ups run above the paper's because this latency \
+         model charges strictly serial folds; orderings and trends match (see EXPERIMENTS.md)."
+    );
+    Ok(())
+}

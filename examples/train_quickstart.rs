@@ -1,0 +1,48 @@
+//! Training quickstart: train a FuSe-Half CNN on the synthetic task with
+//! the paper's recipe, checkpoint it, and resume bit-exactly — the
+//! workflow for anyone extending the accuracy study.
+//!
+//! ```text
+//! cargo run --release --example train_quickstart
+//! ```
+
+use fuseconv::core::cnn::{build_cnn, CnnConfig};
+use fuseconv::core::variant::Variant;
+use fuseconv::train::checkpoint;
+use fuseconv::train::dataset::OrientedTextures;
+use fuseconv::train::trainer::{evaluate, train, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gen = OrientedTextures::new(16, 4);
+    let train_data = gen.generate(192, 1);
+    let test_data = gen.generate(64, 2);
+
+    let mut net = build_cnn(Variant::FuseHalf, &CnnConfig::default());
+    // The paper's weight EMA (decay 0.9999) needs hundreds of thousands of
+    // steps to depart from initialization; for this 6-epoch demo it stays
+    // disabled so the reported accuracy reflects the trained weights.
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        base_lr: 0.012,
+        ema_decay: None,
+        seed: 3,
+    };
+    println!("training FuSe-Half CNN ({} params)…", net.num_params());
+    let report = train(&mut net, &train_data, &test_data, &cfg)?;
+    for e in &report.epochs {
+        println!("  epoch {:>2}: loss {:.4}, lr {:.5}", e.epoch, e.loss, e.lr);
+    }
+    println!("held-out accuracy: {:.1}%", report.test_accuracy * 100.0);
+
+    // Checkpoint, restore into a fresh network, verify identical behavior.
+    let payload = checkpoint::save(&mut net);
+    println!("checkpoint: {} bytes", payload.len());
+    let mut restored = build_cnn(Variant::FuseHalf, &CnnConfig::default());
+    checkpoint::load(&mut restored, &payload)?;
+    let acc_a = evaluate(&mut net, &test_data)?;
+    let acc_b = evaluate(&mut restored, &test_data)?;
+    assert_eq!(acc_a, acc_b, "restored network must match exactly");
+    println!("restored network reproduces accuracy: {:.1}%", acc_b * 100.0);
+    Ok(())
+}

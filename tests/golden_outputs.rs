@@ -1,0 +1,55 @@
+//! Golden-file regression test: the Table I CSV on the paper's 64×64 array
+//! is pinned byte-for-byte. Any change to the architecture tables, the
+//! MAC/parameter formulas, the fold schedules or the 50 %-selection logic
+//! shows up here as a reviewable diff of `tests/golden/table1_64x64.csv`.
+
+use fuseconv::core::experiments::table1;
+use fuseconv::core::report::table1_csv;
+use fuseconv::systolic::ArrayConfig;
+
+#[test]
+fn table1_csv_matches_golden_file() {
+    let array = ArrayConfig::square(64).unwrap().with_broadcast(true);
+    let rows = table1(&array).unwrap();
+    let generated = table1_csv(&rows);
+    let golden = include_str!("golden/table1_64x64.csv");
+    if generated != golden {
+        // Produce a line-level diff in the failure message so the first
+        // divergence is obvious without external tooling.
+        for (i, (g, e)) in generated.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(g, e, "first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            generated.lines().count(),
+            golden.lines().count(),
+            "line count changed"
+        );
+        panic!("outputs differ in trailing whitespace only");
+    }
+}
+
+/// The golden file itself is self-consistent: baselines have speed-up 1,
+/// and the cross-variant orderings hold in the pinned data too (so the
+/// golden file cannot silently pin a broken state).
+#[test]
+fn golden_file_is_internally_consistent() {
+    let golden = include_str!("golden/table1_64x64.csv");
+    let mut baseline_cycles = 0u64;
+    for line in golden.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 6, "{line}");
+        let cycles: u64 = fields[4].parse().unwrap();
+        let speedup: f64 = fields[5].parse().unwrap();
+        if fields[1] == "baseline" {
+            baseline_cycles = cycles;
+            assert!((speedup - 1.0).abs() < 1e-9);
+        } else {
+            assert!(speedup > 1.0, "{line}");
+            let implied = baseline_cycles as f64 / cycles as f64;
+            assert!(
+                (implied - speedup).abs() < 5e-4,
+                "{line}: implied {implied:.4} vs recorded {speedup:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end checks of the paper's headline claims, spanning every crate.
+//! These are the assertions EXPERIMENTS.md reports against.
+
+use fuseconv::core::experiments::{
+    accuracy_study, array_scaling, hw_overhead, layerwise, operator_breakdown, table1,
+    AccuracyConfig,
+};
+use fuseconv::core::paper;
+use fuseconv::core::variant::Variant;
+use fuseconv::models::zoo;
+use fuseconv::nn::ops::OpClass;
+use fuseconv::ria::algorithms;
+use fuseconv::systolic::ArrayConfig;
+
+fn array64() -> ArrayConfig {
+    ArrayConfig::square(64).unwrap().with_broadcast(true)
+}
+
+/// Abstract claim (§III): 2-D convolution is not systolic; 1-D is.
+#[test]
+fn formal_classification_matches_paper() {
+    assert!(algorithms::matmul().is_regular_iterative());
+    assert!(algorithms::conv1d().is_regular_iterative());
+    assert!(algorithms::conv2d_im2col().is_regular_iterative());
+    assert!(!algorithms::conv2d_direct(3).is_regular_iterative());
+    assert!(!algorithms::conv2d_direct(5).is_regular_iterative());
+}
+
+/// Table I, speed-up columns: Half variants 4.16x–7.23x in the paper; our
+/// serial-fold model lands in 3x–15x, preserves Half > Full > partial > 1,
+/// and preserves the paper's cross-network ordering.
+#[test]
+fn table1_speedup_bands_and_ordering() {
+    let rows = table1(&array64()).unwrap();
+    let speedup = |net: &str, v: Variant| {
+        rows.iter()
+            .find(|r| r.network == net && r.variant == v)
+            .unwrap()
+            .speedup
+    };
+    for net in [
+        "MobileNet-V1",
+        "MobileNet-V2",
+        "MnasNet-B1",
+        "MobileNet-V3-Small",
+        "MobileNet-V3-Large",
+    ] {
+        let full = speedup(net, Variant::FuseFull);
+        let half = speedup(net, Variant::FuseHalf);
+        let full50 = speedup(net, Variant::FuseFull50);
+        let half50 = speedup(net, Variant::FuseHalf50);
+        assert!((3.0..20.0).contains(&full), "{net} full {full:.2}");
+        assert!((3.0..20.0).contains(&half), "{net} half {half:.2}");
+        assert!(half > full, "{net}");
+        assert!(full > full50 && full50 > 1.0, "{net}");
+        assert!(half > half50 && half50 > 1.0, "{net}");
+    }
+    // Paper's cross-network ordering of Half speed-ups:
+    // V2 > MnasNet > V1 > V3-Large > V3-Small. Our model reproduces the
+    // V2 > {V1, MnasNet} > V3-Large > V3-Small structure; V1 and MnasNet
+    // land within 1% of each other (they swap relative to the paper), so
+    // they are asserted as a cluster.
+    let order = [
+        "MobileNet-V2",
+        "MobileNet-V1",
+        "MobileNet-V3-Large",
+        "MobileNet-V3-Small",
+    ];
+    for pair in order.windows(2) {
+        assert!(
+            speedup(pair[0], Variant::FuseHalf) > speedup(pair[1], Variant::FuseHalf),
+            "{} should outpace {}",
+            pair[0],
+            pair[1]
+        );
+    }
+    let mnas = speedup("MnasNet-B1", Variant::FuseHalf);
+    let v1 = speedup("MobileNet-V1", Variant::FuseHalf);
+    assert!(
+        (mnas / v1 - 1.0).abs() < 0.10,
+        "MnasNet ({mnas:.2}) and V1 ({v1:.2}) should cluster"
+    );
+}
+
+/// Table I, MACs/params columns move in the paper's directions, with the
+/// paper's approximate magnitudes.
+#[test]
+fn table1_macs_and_params_directions() {
+    let rows = table1(&array64()).unwrap();
+    for base_row in rows.iter().filter(|r| r.variant == Variant::Baseline) {
+        let get = |v: Variant| {
+            rows.iter()
+                .find(|r| r.network == base_row.network && r.variant == v)
+                .unwrap()
+        };
+        let full = get(Variant::FuseFull);
+        let half = get(Variant::FuseHalf);
+        assert!(full.macs_millions > base_row.macs_millions);
+        assert!(half.macs_millions < base_row.macs_millions);
+        assert!(full.params_millions > base_row.params_millions);
+        assert!(half.params_millions < base_row.params_millions);
+        // Magnitude: measured MACs within 20% of the paper's row.
+        for v in [Variant::Baseline, Variant::FuseFull, Variant::FuseHalf] {
+            let measured = get(v).macs_millions;
+            let published = paper::lookup(&base_row.network, v).unwrap().macs_millions;
+            let rel = (measured - published).abs() / published;
+            assert!(
+                rel < 0.20,
+                "{} {v}: {measured:.0}M vs paper {published:.0}M",
+                base_row.network
+            );
+        }
+    }
+}
+
+/// Fig. 8(b): MobileNet-V2 layer-wise speed-ups span a wide range and the
+/// first transformed block beats the last.
+#[test]
+fn layerwise_shape() {
+    let rows = layerwise(&zoo::mobilenet_v2(), Variant::FuseFull, &array64()).unwrap();
+    let transformed: Vec<_> = rows.iter().filter(|r| r.transformed).collect();
+    assert_eq!(transformed.len(), 17);
+    let max = transformed.iter().map(|r| r.speedup).fold(0.0, f64::max);
+    let min = transformed
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(max / min > 2.0, "spread {min:.2}–{max:.2} too narrow");
+    assert!(transformed.first().unwrap().speedup > transformed.last().unwrap().speedup);
+}
+
+/// Fig. 8(c): baselines dominated by depthwise; after the transform,
+/// pointwise dominates and FuSe is a small share.
+#[test]
+fn operator_breakdown_shape() {
+    let rows = operator_breakdown(&array64()).unwrap();
+    for row in &rows {
+        let frac = |class: OpClass| {
+            row.fractions
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0)
+        };
+        match row.variant {
+            Variant::Baseline => {
+                assert!(
+                    frac(OpClass::Depthwise) > 0.3,
+                    "{}: dw {:.2}",
+                    row.network,
+                    frac(OpClass::Depthwise)
+                );
+                assert_eq!(frac(OpClass::FuSe), 0.0);
+            }
+            Variant::FuseFull => {
+                assert_eq!(frac(OpClass::Depthwise), 0.0);
+                assert!(frac(OpClass::Pointwise) > frac(OpClass::FuSe), "{}", row.network);
+            }
+            _ => unreachable!("breakdown covers baseline and full only"),
+        }
+    }
+}
+
+/// Fig. 8(d): speed-up grows with array size, and MobileNet-V1 scales
+/// better than MobileNet-V3-Small.
+#[test]
+fn array_scaling_shape() {
+    let rows = array_scaling(&[16, 64, 128]).unwrap();
+    let get = |net: &str, s: usize| {
+        rows.iter()
+            .find(|r| r.network == net && r.array_size == s)
+            .unwrap()
+            .speedup
+    };
+    for net in ["MobileNet-V1", "MobileNet-V2", "MobileNet-V3-Small"] {
+        assert!(get(net, 16) < get(net, 64));
+        assert!(get(net, 64) < get(net, 128));
+    }
+    assert!(get("MobileNet-V1", 128) > get("MobileNet-V3-Small", 128));
+}
+
+/// §V-B-5: broadcast overhead ≈ 4.35% area / 2.25% power at 32×32.
+#[test]
+fn hw_overhead_matches_paper() {
+    let rows = hw_overhead(&[32]);
+    let (_, o) = rows[0];
+    assert!((o.area_pct - 4.35).abs() < 0.2, "area {:.2}", o.area_pct);
+    assert!((o.power_pct - 2.25).abs() < 0.2, "power {:.2}", o.power_pct);
+}
+
+/// Table I accuracy column (synthetic substitute): all variants learn the
+/// task well above chance, and the FuSe variants stay in the baseline's
+/// neighbourhood — the drop-in replacement does not break learnability.
+/// (The finer Full-vs-Half ordering of Table I is reported, not asserted,
+/// in EXPERIMENTS.md: at this model scale per-seed variance exceeds the
+/// paper's ~1–2% accuracy deltas.)
+#[test]
+fn accuracy_relative_ordering() {
+    let cfg = AccuracyConfig {
+        train_samples: 160,
+        test_samples: 48,
+        epochs: 10,
+        ..AccuracyConfig::default()
+    };
+    let rows = accuracy_study(&cfg).unwrap();
+    let get = |v: Variant| rows.iter().find(|r| r.variant == v).unwrap().accuracy;
+    let chance = 0.25;
+    for row in &rows {
+        assert!(
+            row.accuracy > chance + 0.2,
+            "{}: {:.2} barely above chance",
+            row.variant,
+            row.accuracy
+        );
+    }
+    let base = get(Variant::Baseline);
+    for v in [Variant::FuseFull, Variant::FuseHalf] {
+        assert!(
+            (get(v) - base).abs() < 0.25,
+            "{v}: {:.2} too far from baseline {base:.2}",
+            get(v)
+        );
+    }
+}
