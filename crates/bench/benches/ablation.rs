@@ -3,7 +3,7 @@
 //! ablation tables, then times the NOS frontier computation and the model
 //! under every accounting mode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::micro::{BenchmarkId, Micro};
 use fuseconv_bench::{banner, paper_array};
 use fuseconv_core::nos;
 use fuseconv_latency::{estimate_network, Dataflow, FoldOverlap, LatencyModel};
@@ -47,7 +47,7 @@ fn print_nos_frontiers() {
     }
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn bench_ablation(c: &mut Micro) {
     print_dataflow_ablation();
     print_nos_frontiers();
 
@@ -55,9 +55,17 @@ fn bench_ablation(c: &mut Criterion) {
     let full = zoo::mobilenet_v2().transform_all(FuSeVariant::Full);
     for (label, dataflow, overlap) in [
         ("os_serial", Dataflow::OutputStationary, FoldOverlap::Serial),
-        ("os_db", Dataflow::OutputStationary, FoldOverlap::DoubleBuffered),
+        (
+            "os_db",
+            Dataflow::OutputStationary,
+            FoldOverlap::DoubleBuffered,
+        ),
         ("ws_serial", Dataflow::WeightStationary, FoldOverlap::Serial),
-        ("ws_db", Dataflow::WeightStationary, FoldOverlap::DoubleBuffered),
+        (
+            "ws_db",
+            Dataflow::WeightStationary,
+            FoldOverlap::DoubleBuffered,
+        ),
     ] {
         let model = LatencyModel::new(paper_array())
             .with_dataflow(dataflow)
@@ -79,5 +87,7 @@ fn bench_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_env();
+    bench_ablation(&mut c);
+}

@@ -1,7 +1,7 @@
 //! Bench target for **Fig. 8(b)/(c)/(d)** (experiments E5/E6/E7):
 //! regenerates each figure's series, then times its driver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::micro::{BenchmarkId, Micro};
 use fuseconv_bench::{banner, paper_array};
 use fuseconv_core::experiments::{array_scaling, layerwise, operator_breakdown};
 use fuseconv_core::variant::Variant;
@@ -10,8 +10,8 @@ use std::hint::black_box;
 
 fn print_fig8b() {
     banner("Fig. 8(b): MobileNet-V2 FuSe-Full layer-wise speed-up");
-    let rows = layerwise(&zoo::mobilenet_v2(), Variant::FuseFull, &paper_array())
-        .expect("layerwise");
+    let rows =
+        layerwise(&zoo::mobilenet_v2(), Variant::FuseFull, &paper_array()).expect("layerwise");
     for row in rows.iter().filter(|r| r.transformed) {
         println!("{:<10} {:>6.2}x", row.block, row.speedup);
     }
@@ -40,7 +40,7 @@ fn print_fig8d(sizes: &[usize]) {
     }
 }
 
-fn bench_fig8(c: &mut Criterion) {
+fn bench_fig8(c: &mut Micro) {
     let sizes = [8usize, 16, 32, 64, 128];
     print_fig8b();
     print_fig8c();
@@ -62,5 +62,7 @@ fn bench_fig8(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_env();
+    bench_fig8(&mut c);
+}

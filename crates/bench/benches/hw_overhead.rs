@@ -1,8 +1,8 @@
 //! Bench target for the **§V-B-5 area/power overhead** experiment (E8):
 //! regenerates the overhead table, then times the structural cost model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuseconv_bench::banner;
+use fuseconv_bench::micro::{BenchmarkId, Micro};
 use fuseconv_core::experiments::hw_overhead;
 use fuseconv_core::paper::HW_OVERHEAD_32X32;
 use fuseconv_hwcost::TechnologyProfile;
@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn print_overheads(sizes: &[usize]) {
     banner("§V-B-5: broadcast-link area/power overhead");
     for (s, o) in hw_overhead(sizes) {
-        println!("{s:>4}x{s:<4} area +{:.2}%  power +{:.2}%", o.area_pct, o.power_pct);
+        println!(
+            "{s:>4}x{s:<4} area +{:.2}%  power +{:.2}%",
+            o.area_pct, o.power_pct
+        );
     }
     println!(
         "paper @32x32: area +{:.2}%  power +{:.2}%",
@@ -19,7 +22,7 @@ fn print_overheads(sizes: &[usize]) {
     );
 }
 
-fn bench_hw(c: &mut Criterion) {
+fn bench_hw(c: &mut Micro) {
     let sizes = [8usize, 16, 32, 64, 128, 256];
     print_overheads(&sizes);
 
@@ -33,5 +36,7 @@ fn bench_hw(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hw);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_env();
+    bench_hw(&mut c);
+}

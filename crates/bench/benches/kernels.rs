@@ -3,7 +3,7 @@
 //! comparison. Not a paper artifact per se, but the harness users profile
 //! when extending the library.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::micro::{BenchmarkId, Micro};
 use fuseconv_nn::conv::{conv2d, depthwise2d, pointwise, Conv2dSpec};
 use fuseconv_nn::{FuSeConv, FuSeVariant};
 use fuseconv_tensor::Tensor;
@@ -18,7 +18,7 @@ fn tensor(dims: &[usize]) -> Tensor {
     .expect("valid dims")
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels(c: &mut Micro) {
     // A representative mid-network shape: 32 channels at 28x28.
     let (ch, h, w, k) = (32usize, 28usize, 28usize, 3usize);
     let input = tensor(&[ch, h, w]);
@@ -46,11 +46,9 @@ fn bench_kernels(c: &mut Criterion) {
             tensor(&[ch / variant.d(), k, 1]),
         )
         .expect("layer");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant),
-            &layer,
-            |b, layer| b.iter(|| layer.forward(black_box(&input)).expect("fuse")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(variant), &layer, |b, layer| {
+            b.iter(|| layer.forward(black_box(&input)).expect("fuse"))
+        });
     }
     group.finish();
 
@@ -60,5 +58,7 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_env();
+    bench_kernels(&mut c);
+}

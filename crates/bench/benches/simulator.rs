@@ -2,8 +2,8 @@
 //! §IV-C utilization** comparison (experiment E10): regenerates the
 //! utilization numbers, then times both dataflows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuseconv_bench::banner;
+use fuseconv_bench::micro::{BenchmarkId, Micro};
 use fuseconv_systolic::{conv1d, gemm, ArrayConfig};
 use fuseconv_tensor::Tensor;
 use std::hint::black_box;
@@ -38,7 +38,7 @@ fn print_utilization() {
     );
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(c: &mut Micro) {
     print_utilization();
 
     let mut group = c.benchmark_group("simulator/os_gemm");
@@ -83,5 +83,7 @@ fn bench_simulator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_env();
+    bench_simulator(&mut c);
+}

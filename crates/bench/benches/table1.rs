@@ -2,7 +2,7 @@
 //! latencies): regenerates the table once, then times the latency
 //! estimation per network × variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuseconv_bench::micro::{BenchmarkId, Micro};
 use fuseconv_bench::{banner, paper_array};
 use fuseconv_core::experiments::table1;
 use fuseconv_core::paper;
@@ -35,7 +35,7 @@ fn print_table1() {
     }
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Micro) {
     print_table1();
 
     let array = paper_array();
@@ -60,5 +60,7 @@ fn bench_table1(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_env();
+    bench_table1(&mut c);
+}

@@ -1,11 +1,13 @@
 //! Shared helpers for the benchmark harness.
 //!
-//! Each Criterion bench target regenerates one of the paper's tables or
-//! figures — printing the same rows/series the paper reports — and then
-//! times the computation that produced it. The experiment ↔ bench mapping
-//! is indexed in `DESIGN.md` (E1–E10).
+//! Each bench target regenerates one of the paper's tables or figures —
+//! printing the same rows/series the paper reports — and then times the
+//! computation that produced it with the offline [`micro`] harness. The
+//! experiment ↔ bench mapping is indexed in `DESIGN.md` (E1–E10).
 
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use fuseconv_systolic::ArrayConfig;
 

@@ -1,0 +1,199 @@
+//! A minimal `std::time::Instant` micro-bench harness.
+//!
+//! The workspace builds fully offline, so instead of Criterion the bench
+//! targets use this drop-in subset of its API: [`Micro`] stands in for
+//! `Criterion`, with `bench_function`, `benchmark_group`,
+//! `bench_with_input` and [`BenchmarkId`] mirroring the shapes the bench
+//! sources were written against. Timing is adaptive: each bench gets one
+//! calibration pass, then as many iterations as fit the per-bench budget
+//! (default 100 ms, overridable via `FUSECONV_BENCH_BUDGET_MS`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn fmt_per_iter(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Passed to bench closures; call [`Bencher::iter`] with the code under
+/// test.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed calibration pass sizes the iteration count
+    /// to the harness budget, then the timed loop runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let n = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        self.total = t1.elapsed();
+        self.iters = n;
+    }
+}
+
+/// The harness: a drop-in stand-in for `criterion::Criterion`.
+pub struct Micro {
+    budget: Duration,
+}
+
+impl Micro {
+    /// A harness with the default 100 ms per-bench budget.
+    pub fn new() -> Self {
+        Micro {
+            budget: Duration::from_millis(100),
+        }
+    }
+
+    /// Reads the per-bench budget from `FUSECONV_BENCH_BUDGET_MS` (smoke
+    /// runs in CI set a small value; unset means the 100 ms default).
+    pub fn from_env() -> Self {
+        let ms = std::env::var("FUSECONV_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Micro {
+            budget: Duration::from_millis(ms),
+        }
+    }
+
+    fn run(&mut self, name: &str, b: &mut Bencher) {
+        let ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "bench {name:<52} {:>12}/iter  (n={})",
+            fmt_per_iter(ns),
+            b.iters
+        );
+    }
+
+    /// Runs one named bench.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.budget,
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        self.run(name, &mut b);
+        self
+    }
+
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A named group of benches, mirroring `criterion::BenchmarkGroup`.
+pub struct Group<'a> {
+    harness: &'a mut Micro,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Runs one bench inside the group, labelled by `id`, with `input`
+    /// passed through to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher {
+            budget: self.harness.budget,
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.harness.run(&full, &mut b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A bench label, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A two-part label: `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// A label consisting of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts_iterations() {
+        let mut h = Micro {
+            budget: Duration::from_millis(1),
+        };
+        let mut count = 0u64;
+        h.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert!(count >= 2, "calibration + at least one timed iteration");
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut h = Micro {
+            budget: Duration::from_millis(1),
+        };
+        let mut g = h.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(42), &3usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_with_input(BenchmarkId::new("f", "p"), &1usize, |b, &x| b.iter(|| x));
+        g.finish();
+    }
+
+    #[test]
+    fn per_iter_formatting_picks_units() {
+        assert!(fmt_per_iter(12.0).ends_with("ns"));
+        assert!(fmt_per_iter(12e3).ends_with("us"));
+        assert!(fmt_per_iter(12e6).ends_with("ms"));
+        assert!(fmt_per_iter(12e9).ends_with('s'));
+    }
+}

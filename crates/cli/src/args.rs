@@ -48,9 +48,9 @@ impl ParsedArgs {
                 if let Some((key, value)) = name.split_once('=') {
                     parsed.flags.push((key.to_string(), value.to_string()));
                 } else {
-                    let value = iter.next().ok_or_else(|| {
-                        ParseArgsError(format!("flag --{name} requires a value"))
-                    })?;
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ParseArgsError(format!("flag --{name} requires a value")))?;
                     parsed.flags.push((name.to_string(), value));
                 }
             } else {
@@ -148,10 +148,7 @@ mod tests {
         assert_eq!(p.usize_flag("other", 7).unwrap(), 7);
         assert_eq!(p.f64_flag("mhz", 700.0).unwrap(), 700.0);
         let p = parse(&["scaling", "--sizes", "8, 16,32"]).unwrap();
-        assert_eq!(
-            p.usize_list_flag("sizes", &[64]).unwrap(),
-            vec![8, 16, 32]
-        );
+        assert_eq!(p.usize_list_flag("sizes", &[64]).unwrap(), vec![8, 16, 32]);
     }
 
     #[test]

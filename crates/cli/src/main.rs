@@ -10,6 +10,8 @@
 //! fuseconv nos       [--network MobileNet-V2] [--array 64]
 //! fuseconv topology  <file> [--array 64]
 //! fuseconv reports   [--dir reports] [--array 64]
+//! fuseconv trace     [--network MobileNet-V2] [--variant baseline|full|half]
+//!                    [--layer N] [--format scalesim|chrome|heatmap] [--out trace.json]
 //! fuseconv help
 //! ```
 
@@ -19,10 +21,12 @@ use args::ParsedArgs;
 use fuseconv_core::experiments;
 use fuseconv_core::nos;
 use fuseconv_core::report;
+use fuseconv_core::trace as tracecap;
 use fuseconv_core::variant::{apply_variant, Variant};
 use fuseconv_latency::{estimate_network, LatencyModel};
 use fuseconv_models::{topology, zoo, Network};
 use fuseconv_systolic::ArrayConfig;
+use fuseconv_trace::{ChromeTraceSink, ScaleSimSink, UtilizationSink};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -41,6 +45,13 @@ COMMANDS:
   nos        Neural Operator Search Pareto frontier   [--network NAME]
   topology   evaluate a custom network from a topology file: fuseconv topology FILE
   reports    write every latency-side experiment to CSV   [--dir reports]
+  trace      capture an execution trace   [--network NAME] [--variant baseline|full|half]
+             [--layer N] [--format scalesim|chrome|heatmap] [--out PATH]
+             chrome:   whole-network (or --layer) Chrome/Perfetto JSON timeline
+             heatmap:  per-PE activity of one layer (--layer, cycle-exact sim);
+                       prints ASCII art, writes CSV
+             scalesim: SCALE-Sim-style SRAM read/write traces of one layer
+                       (--layer); writes <out>_{ifmap_read,filter_read,ofmap_write}.csv
   help       this text
 
 Common flag: --array N (square array side, default 64).";
@@ -74,15 +85,13 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
         "layerwise" => {
             let array = array_of(parsed)?;
             let name = parsed.flag("network").unwrap_or("MobileNet-V2");
-            let net =
-                find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let net = find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
             let variant = match parsed.flag("variant").unwrap_or("full") {
                 "full" => Variant::FuseFull,
                 "half" => Variant::FuseHalf,
                 other => return Err(format!("--variant must be full or half, got `{other}`")),
             };
-            let rows =
-                experiments::layerwise(&net, variant, &array).map_err(|e| e.to_string())?;
+            let rows = experiments::layerwise(&net, variant, &array).map_err(|e| e.to_string())?;
             println!("{}", report::layerwise_csv(&rows).trim_end());
             Ok(())
         }
@@ -118,8 +127,7 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
         "nos" => {
             let array = array_of(parsed)?;
             let name = parsed.flag("network").unwrap_or("MobileNet-V2");
-            let net =
-                find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let net = find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
             let frontier = nos::pareto_frontier(&net, &array).map_err(|e| e.to_string())?;
             println!("latency_cycles,params,assignment");
             for p in &frontier {
@@ -141,8 +149,8 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
                 .positional
                 .first()
                 .ok_or("usage: fuseconv topology <file> [--array N]")?;
-            let text = std::fs::read_to_string(file)
-                .map_err(|e| format!("cannot read {file}: {e}"))?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
             let net = topology::parse(file, &text).map_err(|e| e.to_string())?;
             let array = array_of(parsed)?;
             let model = LatencyModel::new(array);
@@ -163,11 +171,132 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             }
             Ok(())
         }
+        "trace" => {
+            let array = array_of(parsed)?;
+            let model = LatencyModel::new(array);
+            let name = parsed.flag("network").unwrap_or("MobileNet-V2");
+            let net = find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let variant = match parsed.flag("variant").unwrap_or("baseline") {
+                "baseline" => Variant::Baseline,
+                "full" => Variant::FuseFull,
+                "half" => Variant::FuseHalf,
+                other => {
+                    return Err(format!(
+                        "--variant must be baseline, full or half, got `{other}`"
+                    ))
+                }
+            };
+            let net = apply_variant(&net, variant, &array).map_err(|e| e.to_string())?;
+            let layer = match parsed.flag("layer") {
+                None => None,
+                Some(_) => Some(parsed.usize_flag("layer", 0).map_err(|e| e.to_string())?),
+            };
+            let pick_op = |i: usize| {
+                let ops = net.ops();
+                ops.get(i).cloned().ok_or(format!(
+                    "layer {i} out of range; {} has {} operators",
+                    net.name(),
+                    ops.len()
+                ))
+            };
+            match parsed.flag("format").unwrap_or("chrome") {
+                "chrome" => {
+                    let mut sink = ChromeTraceSink::new();
+                    match layer {
+                        // One layer: cycle-exact, with per-row PE tracks.
+                        Some(i) => {
+                            let named = pick_op(i)?;
+                            tracecap::simulate_op_traced(&model, &named.op, &mut sink)
+                                .map_err(|e| e.to_string())?;
+                        }
+                        // Whole network: analytic fold-plan replay.
+                        None => {
+                            let plan = tracecap::network_fold_plan(&model, &net, None)
+                                .map_err(|e| e.to_string())?;
+                            for (tag, label) in &plan.labels {
+                                sink.label_tag(*tag, label);
+                            }
+                            fuseconv_trace::replay(&plan.folds, &mut sink);
+                        }
+                    }
+                    let path = parsed.flag("out").unwrap_or("trace.json");
+                    std::fs::write(path, sink.into_json())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("{path}");
+                    Ok(())
+                }
+                "heatmap" => {
+                    let i = layer.ok_or("--format heatmap needs --layer N")?;
+                    let named = pick_op(i)?;
+                    let mut sink = UtilizationSink::new(array.rows(), array.cols());
+                    let traced = tracecap::simulate_op_traced(&model, &named.op, &mut sink)
+                        .map_err(|e| e.to_string())?;
+                    let (fill, compute, drain) = sink.phase_cycles();
+                    println!(
+                        "{} / {}  ({} on {}x{})",
+                        net.name(),
+                        named.op,
+                        named.block_name,
+                        array.rows(),
+                        array.cols()
+                    );
+                    println!(
+                        "cycles {} (x{} repeats = {})  fill {}  compute {}  drain {}",
+                        sink.cycles(),
+                        traced.repeats,
+                        traced.total_cycles(),
+                        fill,
+                        compute,
+                        drain
+                    );
+                    println!(
+                        "active rows {}/{}  active cols {}/{}  utilization {:.2}%",
+                        sink.active_rows(),
+                        array.rows(),
+                        sink.active_cols(),
+                        array.cols(),
+                        100.0 * sink.utilization()
+                    );
+                    println!("{}", sink.heatmap_ascii());
+                    if let Some(path) = parsed.flag("out") {
+                        std::fs::write(path, sink.heatmap_csv())
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                        println!("{path}");
+                    }
+                    Ok(())
+                }
+                "scalesim" => {
+                    let i = layer.ok_or("--format scalesim needs --layer N")?;
+                    let named = pick_op(i)?;
+                    let mut sink = ScaleSimSink::new();
+                    tracecap::simulate_op_traced(&model, &named.op, &mut sink)
+                        .map_err(|e| e.to_string())?;
+                    let stem = parsed
+                        .flag("out")
+                        .unwrap_or("trace")
+                        .trim_end_matches(".csv")
+                        .to_string();
+                    for (suffix, csv) in [
+                        ("ifmap_read", sink.ifmap_read_csv()),
+                        ("filter_read", sink.filter_read_csv()),
+                        ("ofmap_write", sink.ofmap_write_csv()),
+                    ] {
+                        let path = format!("{stem}_{suffix}.csv");
+                        std::fs::write(&path, csv)
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                        println!("{path}");
+                    }
+                    Ok(())
+                }
+                other => Err(format!(
+                    "--format must be scalesim, chrome or heatmap, got `{other}`"
+                )),
+            }
+        }
         "reports" => {
             let array = array_of(parsed)?;
             let dir = parsed.flag("dir").unwrap_or("reports");
-            let written =
-                report::write_all(Path::new(dir), &array).map_err(|e| e.to_string())?;
+            let written = report::write_all(Path::new(dir), &array).map_err(|e| e.to_string())?;
             for p in written {
                 println!("{}", p.display());
             }
@@ -258,5 +387,61 @@ mod tests {
     #[test]
     fn zero_array_rejected() {
         assert!(run(&parsed(&["table1", "--array", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_validates_inputs() {
+        assert!(run(&parsed(&["trace", "--network", "nope"])).is_err());
+        assert!(run(&parsed(&["trace", "--variant", "quarter"])).is_err());
+        assert!(run(&parsed(&["trace", "--format", "vcd"])).is_err());
+        // heatmap and scalesim need a concrete layer to simulate.
+        assert!(run(&parsed(&["trace", "--format", "heatmap", "--array", "8"])).is_err());
+        assert!(run(&parsed(&["trace", "--format", "scalesim", "--array", "8"])).is_err());
+        assert!(run(&parsed(&[
+            "trace", "--format", "heatmap", "--layer", "99999", "--array", "8"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_chrome_writes_valid_json() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.json");
+        let out = out.to_str().unwrap();
+        assert!(run(&parsed(&[
+            "trace",
+            "--network",
+            "mobilenet-v2",
+            "--variant",
+            "half",
+            "--array",
+            "8",
+            "--out",
+            out
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"traceEvents\""));
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn trace_heatmap_runs_on_a_layer() {
+        // Layer 1 of MobileNet-V1 is the first depthwise: the §III-B
+        // pathology should confine activity to a single array column.
+        assert!(run(&parsed(&[
+            "trace",
+            "--network",
+            "mobilenet-v1",
+            "--format",
+            "heatmap",
+            "--layer",
+            "1",
+            "--array",
+            "8"
+        ]))
+        .is_ok());
     }
 }

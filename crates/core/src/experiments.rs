@@ -99,8 +99,7 @@ pub fn layerwise(
         .enumerate()
         .map(|(i, (_, block))| LayerwiseRow {
             block: base_blocks[i].name.clone(),
-            transformed: block.is_replaceable()
-                && !transformed_net.blocks()[i].1.is_replaceable(),
+            transformed: block.is_replaceable() && !transformed_net.blocks()[i].1.is_replaceable(),
             baseline_cycles: base_blocks[i].cycles,
             fused_cycles: fused_blocks[i].cycles,
             speedup: speedups[i].1,
@@ -165,12 +164,11 @@ pub struct ScalingRow {
 /// Propagates [`LatencyError`]; `ArrayConfig` construction failures cannot
 /// occur for nonzero sizes, which are validated here.
 pub fn array_scaling(sizes: &[usize]) -> Result<Vec<ScalingRow>, LatencyError> {
-    let mut results: Vec<Vec<ScalingRow>> = Vec::new();
-    crossbeam::scope(|scope| {
+    let results: Vec<Result<Vec<ScalingRow>, LatencyError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = sizes
             .iter()
             .map(|&s| {
-                scope.spawn(move |_| -> Result<Vec<ScalingRow>, LatencyError> {
+                scope.spawn(move || -> Result<Vec<ScalingRow>, LatencyError> {
                     let array = ArrayConfig::square(s)
                         .expect("sizes must be nonzero")
                         .with_broadcast(true);
@@ -192,13 +190,16 @@ pub fn array_scaling(sizes: &[usize]) -> Result<Vec<ScalingRow>, LatencyError> {
                 })
             })
             .collect();
-        for h in handles {
-            results.push(h.join().expect("scaling worker panicked")?);
-        }
-        Ok(())
-    })
-    .expect("crossbeam scope panicked")?;
-    Ok(results.into_iter().flatten().collect())
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scaling worker panicked"))
+            .collect()
+    });
+    let mut rows = Vec::new();
+    for r in results {
+        rows.extend(r?);
+    }
+    Ok(rows)
 }
 
 /// The paper's §I motivating comparison, measured.
@@ -274,12 +275,8 @@ pub struct EnergyRow {
 /// # Errors
 ///
 /// Propagates [`LatencyError`].
-pub fn energy_study(
-    array_side: usize,
-    clock_mhz: f64,
-) -> Result<Vec<EnergyRow>, LatencyError> {
-    let plain = ArrayConfig::square(array_side)
-        .expect("array side must be nonzero");
+pub fn energy_study(array_side: usize, clock_mhz: f64) -> Result<Vec<EnergyRow>, LatencyError> {
+    let plain = ArrayConfig::square(array_side).expect("array side must be nonzero");
     let broadcast = plain.with_broadcast(true);
     let tech = TechnologyProfile::nangate45();
     let plain_power = tech.array_cost(array_side, array_side, false).power_mw();
@@ -488,10 +485,7 @@ mod tests {
         let rows = array_scaling(&[8, 32, 128]).unwrap();
         assert_eq!(rows.len(), 15);
         for net in ["MobileNet-V1", "MobileNet-V3-Small"] {
-            let mut s: Vec<_> = rows
-                .iter()
-                .filter(|r| r.network == net)
-                .collect();
+            let mut s: Vec<_> = rows.iter().filter(|r| r.network == net).collect();
             s.sort_by_key(|r| r.array_size);
             assert!(s[0].speedup < s[1].speedup && s[1].speedup < s[2].speedup);
         }

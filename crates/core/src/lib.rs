@@ -45,6 +45,7 @@ pub mod experiments;
 pub mod nos;
 pub mod paper;
 pub mod report;
+pub mod trace;
 pub mod variant;
 
 pub use variant::{apply_variant, Variant};

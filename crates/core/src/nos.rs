@@ -157,7 +157,7 @@ fn prune(mut points: Vec<NosPoint>) -> Vec<NosPoint> {
     let mut kept: Vec<NosPoint> = Vec::new();
     for p in points {
         match kept.last() {
-            Some(last) if p.params <= last.params => {} // dominated
+            Some(last) if p.params <= last.params => {}   // dominated
             Some(last) if p.latency == last.latency => {} // same latency, fewer params already kept
             _ => kept.push(p),
         }
@@ -334,10 +334,7 @@ mod tests {
         let net = zoo::mobilenet_v1();
         let frontier = pareto_frontier(&net, &array64()).unwrap();
         let fastest = frontier.first().unwrap();
-        assert!(fastest
-            .assignment
-            .iter()
-            .all(|&c| c == OpChoice::FuseHalf));
+        assert!(fastest.assignment.iter().all(|&c| c == OpChoice::FuseHalf));
         let richest = frontier.last().unwrap();
         assert!(richest.assignment.iter().all(|&c| c == OpChoice::FuseFull));
     }

@@ -26,7 +26,14 @@ pub const TABLE1: [PaperRow; 25] = [
     row("MobileNet-V1", Variant::FuseFull, 72.86, 1122.0, 7.36, 4.1),
     row("MobileNet-V1", Variant::FuseHalf, 72.00, 573.0, 4.20, 6.76),
     row("MobileNet-V1", Variant::FuseFull50, 72.42, 764.0, 4.35, 2.2),
-    row("MobileNet-V1", Variant::FuseHalf50, 71.77, 578.0, 4.22, 2.36),
+    row(
+        "MobileNet-V1",
+        Variant::FuseHalf50,
+        71.77,
+        578.0,
+        4.22,
+        2.36,
+    ),
     row("MobileNet-V2", Variant::Baseline, 72.00, 315.0, 3.50, 1.0),
     row("MobileNet-V2", Variant::FuseFull, 72.49, 430.0, 4.46, 5.1),
     row("MobileNet-V2", Variant::FuseHalf, 70.80, 300.0, 3.46, 7.23),
@@ -37,16 +44,86 @@ pub const TABLE1: [PaperRow; 25] = [
     row("MnasNet-B1", Variant::FuseHalf, 71.48, 305.0, 4.25, 7.15),
     row("MnasNet-B1", Variant::FuseFull50, 73.52, 361.0, 4.47, 1.88),
     row("MnasNet-B1", Variant::FuseHalf50, 72.61, 312.0, 4.35, 1.97),
-    row("MobileNet-V3-Small", Variant::Baseline, 67.40, 66.0, 2.93, 1.0),
-    row("MobileNet-V3-Small", Variant::FuseFull, 67.17, 84.0, 4.44, 3.02),
-    row("MobileNet-V3-Small", Variant::FuseHalf, 64.55, 61.0, 2.89, 4.16),
-    row("MobileNet-V3-Small", Variant::FuseFull50, 67.91, 73.0, 3.18, 1.6),
-    row("MobileNet-V3-Small", Variant::FuseHalf50, 66.90, 63.0, 2.92, 1.68),
-    row("MobileNet-V3-Large", Variant::Baseline, 75.20, 238.0, 5.47, 1.0),
-    row("MobileNet-V3-Large", Variant::FuseFull, 74.40, 322.0, 10.57, 3.61),
-    row("MobileNet-V3-Large", Variant::FuseHalf, 73.02, 225.0, 5.40, 5.45),
-    row("MobileNet-V3-Large", Variant::FuseFull50, 74.50, 264.0, 5.57, 1.76),
-    row("MobileNet-V3-Large", Variant::FuseHalf50, 73.80, 230.0, 5.46, 1.83),
+    row(
+        "MobileNet-V3-Small",
+        Variant::Baseline,
+        67.40,
+        66.0,
+        2.93,
+        1.0,
+    ),
+    row(
+        "MobileNet-V3-Small",
+        Variant::FuseFull,
+        67.17,
+        84.0,
+        4.44,
+        3.02,
+    ),
+    row(
+        "MobileNet-V3-Small",
+        Variant::FuseHalf,
+        64.55,
+        61.0,
+        2.89,
+        4.16,
+    ),
+    row(
+        "MobileNet-V3-Small",
+        Variant::FuseFull50,
+        67.91,
+        73.0,
+        3.18,
+        1.6,
+    ),
+    row(
+        "MobileNet-V3-Small",
+        Variant::FuseHalf50,
+        66.90,
+        63.0,
+        2.92,
+        1.68,
+    ),
+    row(
+        "MobileNet-V3-Large",
+        Variant::Baseline,
+        75.20,
+        238.0,
+        5.47,
+        1.0,
+    ),
+    row(
+        "MobileNet-V3-Large",
+        Variant::FuseFull,
+        74.40,
+        322.0,
+        10.57,
+        3.61,
+    ),
+    row(
+        "MobileNet-V3-Large",
+        Variant::FuseHalf,
+        73.02,
+        225.0,
+        5.40,
+        5.45,
+    ),
+    row(
+        "MobileNet-V3-Large",
+        Variant::FuseFull50,
+        74.50,
+        264.0,
+        5.57,
+        1.76,
+    ),
+    row(
+        "MobileNet-V3-Large",
+        Variant::FuseHalf50,
+        73.80,
+        230.0,
+        5.46,
+        1.83,
+    ),
 ];
 
 const fn row(

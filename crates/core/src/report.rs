@@ -17,7 +17,8 @@ use std::path::{Path, PathBuf};
 
 /// Formats Table I rows (E1/E2/E4) as CSV.
 pub fn table1_csv(rows: &[Table1Row]) -> String {
-    let mut out = String::from("network,variant,macs_millions,params_millions,latency_cycles,speedup\n");
+    let mut out =
+        String::from("network,variant,macs_millions,params_millions,latency_cycles,speedup\n");
     for r in rows {
         let _ = writeln!(
             out,

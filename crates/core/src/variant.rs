@@ -207,10 +207,7 @@ mod tests {
     fn variant_metadata() {
         assert_eq!(Variant::ALL.len(), 5);
         assert_eq!(Variant::Baseline.fuse_variant(), None);
-        assert_eq!(
-            Variant::FuseFull50.fuse_variant(),
-            Some(FuSeVariant::Full)
-        );
+        assert_eq!(Variant::FuseFull50.fuse_variant(), Some(FuSeVariant::Full));
         assert!(Variant::FuseHalf50.is_partial());
         assert!(!Variant::FuseHalf.is_partial());
         assert_eq!(Variant::FuseHalf.to_string(), "FuSe-Half");

@@ -29,7 +29,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use std::fmt;
 
 /// Per-component area (µm²) and power (µW at nominal frequency/activity)
@@ -37,7 +36,7 @@ use std::fmt;
 ///
 /// The defaults ([`TechnologyProfile::nangate45`]) describe an FP16 MAC
 /// datapath in a 45 nm-class library.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechnologyProfile {
     /// MAC unit area per PE.
     pub mac_area: f64,
@@ -148,7 +147,7 @@ impl Default for TechnologyProfile {
 }
 
 /// Estimated silicon cost of one array configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayCost {
     /// PE rows.
     pub rows: usize,
@@ -172,6 +171,15 @@ impl ArrayCost {
     pub fn power_mw(&self) -> f64 {
         self.power_uw / 1e3
     }
+
+    /// Serializes to a single JSON object (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rows\":{},\"cols\":{},\"broadcast\":{},\"area_um2\":{},\"power_uw\":{}}}",
+            self.rows, self.cols, self.broadcast, self.area_um2, self.power_uw
+        )
+    }
 }
 
 impl fmt::Display for ArrayCost {
@@ -189,12 +197,23 @@ impl fmt::Display for ArrayCost {
 }
 
 /// Relative overhead of the broadcast dataflow, in percent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Overhead {
     /// Area overhead in percent.
     pub area_pct: f64,
     /// Power overhead in percent.
     pub power_pct: f64,
+}
+
+impl Overhead {
+    /// Serializes to a single JSON object (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"area_pct\":{},\"power_pct\":{}}}",
+            self.area_pct, self.power_pct
+        )
+    }
 }
 
 impl fmt::Display for Overhead {
@@ -275,10 +294,10 @@ mod tests {
         // Broadcast cost depends on rows (one driver per row), so a tall
         // array pays more driver overhead than a wide one of equal PEs.
         let tech = TechnologyProfile::nangate45();
-        let tall = tech.array_cost(128, 16, true).area_um2
-            - tech.array_cost(128, 16, false).area_um2;
-        let wide = tech.array_cost(16, 128, true).area_um2
-            - tech.array_cost(16, 128, false).area_um2;
+        let tall =
+            tech.array_cost(128, 16, true).area_um2 - tech.array_cost(128, 16, false).area_um2;
+        let wide =
+            tech.array_cost(16, 128, true).area_um2 - tech.array_cost(16, 128, false).area_um2;
         assert!(tall > wide);
     }
 
@@ -289,6 +308,18 @@ mod tests {
         assert!(c.to_string().contains("+broadcast"));
         let o = tech.broadcast_overhead(32, 32);
         assert!(o.to_string().contains('%'));
+    }
+
+    #[test]
+    fn json_writers_emit_objects() {
+        let tech = TechnologyProfile::nangate45();
+        let j = tech.array_cost(8, 8, true).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"broadcast\":true"));
+        assert!(tech
+            .broadcast_overhead(8, 8)
+            .to_json()
+            .contains("\"area_pct\":"));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod map;
 pub mod memory;
+pub mod plan;
 pub mod report;
 
 pub use map::{Dataflow, FoldOverlap, LatencyError, LatencyModel};

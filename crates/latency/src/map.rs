@@ -260,9 +260,7 @@ impl LatencyModel {
     pub fn cycles(&self, op: &Op) -> Result<u64, LatencyError> {
         let (oh, ow, _) = op.output_shape();
         match *op {
-            Op::Conv2d {
-                in_c, out_c, k, ..
-            } => {
+            Op::Conv2d { in_c, out_c, k, .. } => {
                 let m = oh * ow * self.batch;
                 let kdim = k * k * in_c;
                 check_nonzero(op, &[m, kdim, out_c])?;
@@ -277,9 +275,7 @@ impl LatencyModel {
                 // depthwise utilization.
                 Ok(c as u64 * self.gemm_cycles(m, k * k, 1))
             }
-            Op::Pointwise {
-                in_c, out_c, ..
-            } => {
+            Op::Pointwise { in_c, out_c, .. } => {
                 let m = oh * ow * self.batch;
                 check_nonzero(op, &[m, in_c, out_c])?;
                 Ok(self.gemm_cycles(m, in_c, out_c))
@@ -297,14 +293,14 @@ impl LatencyModel {
                     Axis1d::Col => (ow, oh),
                 };
                 check_nonzero(op, &[c, lines, l_out, k])?;
-Ok(self.fuse_cycles(c, lines, l_out, k))
+                Ok(self.fuse_cycles(c, lines, l_out, k))
             }
             Op::Fc {
                 in_features,
                 out_features,
             } => {
                 check_nonzero(op, &[in_features, out_features])?;
-Ok(self.gemm_cycles(1, in_features, out_features))
+                Ok(self.gemm_cycles(1, in_features, out_features))
             }
         }
     }
@@ -453,9 +449,7 @@ mod tests {
         for op in ops {
             let mut prev = u64::MAX;
             for s in [8usize, 16, 32, 64, 128] {
-                let m = LatencyModel::new(
-                    ArrayConfig::square(s).unwrap().with_broadcast(true),
-                );
+                let m = LatencyModel::new(ArrayConfig::square(s).unwrap().with_broadcast(true));
                 let c = m.cycles(&op).unwrap();
                 assert!(
                     c <= prev,
@@ -523,7 +517,10 @@ mod tests {
         // conv: k = 27 ≤ rows, n = 32 ≤ cols) has nothing to overlap and
         // costs the same.
         for op in [Op::pointwise(28, 28, 192, 64), Op::fc(512, 1000)] {
-            assert!(piped.cycles(&op).unwrap() < serial.cycles(&op).unwrap(), "{op}");
+            assert!(
+                piped.cycles(&op).unwrap() < serial.cycles(&op).unwrap(),
+                "{op}"
+            );
         }
         let stem = Op::conv2d(112, 112, 3, 32, 3, 2, 1);
         assert_eq!(piped.cycles(&stem).unwrap(), serial.cycles(&stem).unwrap());
@@ -574,8 +571,7 @@ mod batch_tests {
     use fuseconv_systolic::ArrayConfig;
 
     fn model(batch: usize) -> LatencyModel {
-        LatencyModel::new(ArrayConfig::square(64).unwrap().with_broadcast(true))
-            .with_batch(batch)
+        LatencyModel::new(ArrayConfig::square(64).unwrap().with_broadcast(true)).with_batch(batch)
     }
 
     #[test]
@@ -603,8 +599,12 @@ mod batch_tests {
     fn batch_scales_whole_networks_superlinearly_never() {
         use fuseconv_models::zoo;
         let net = zoo::mobilenet_v2();
-        let b1 = crate::estimate_network(&model(1), &net).unwrap().total_cycles;
-        let b4 = crate::estimate_network(&model(4), &net).unwrap().total_cycles;
+        let b1 = crate::estimate_network(&model(1), &net)
+            .unwrap()
+            .total_cycles;
+        let b4 = crate::estimate_network(&model(4), &net)
+            .unwrap()
+            .total_cycles;
         // Batched work is at most linear and at least one-batch's worth.
         assert!(b4 <= 4 * b1);
         assert!(b4 >= b1);

@@ -101,9 +101,7 @@ pub fn op_traffic(model: &LatencyModel, op: &Op) -> Result<Traffic, LatencyError
     let (oh, ow, _) = op.output_shape();
     let degenerate = || LatencyError::DegenerateOp { op: op.to_string() };
     match *op {
-        Op::Conv2d {
-            in_c, out_c, k, ..
-        } => {
+        Op::Conv2d { in_c, out_c, k, .. } => {
             let m = oh * ow;
             let kdim = k * k * in_c;
             if m == 0 || kdim == 0 || out_c == 0 {
@@ -125,9 +123,7 @@ pub fn op_traffic(model: &LatencyModel, op: &Op) -> Result<Traffic, LatencyError
                 output_elems: per_channel.output_elems * c as u64,
             })
         }
-        Op::Pointwise {
-            in_c, out_c, ..
-        } => {
+        Op::Pointwise { in_c, out_c, .. } => {
             let m = oh * ow;
             if m == 0 || in_c == 0 || out_c == 0 {
                 return Err(degenerate());
@@ -135,7 +131,12 @@ pub fn op_traffic(model: &LatencyModel, op: &Op) -> Result<Traffic, LatencyError
             Ok(gemm_traffic(model, m, in_c, out_c))
         }
         Op::FuSe1d {
-            c, k, stride, pad, axis, ..
+            c,
+            k,
+            stride,
+            pad,
+            axis,
+            ..
         } => {
             let (lines, l_out, line_in) = match axis {
                 Axis1d::Row => (oh, ow, (ow - 1) * stride + k),
@@ -296,7 +297,9 @@ fn unique_traffic(op: &Op) -> Traffic {
             weight_elems: (in_c * out_c) as u64,
             output_elems: (oh * ow * oc) as u64,
         },
-        Op::FuSe1d { in_h, in_w, c, k, .. } => Traffic {
+        Op::FuSe1d {
+            in_h, in_w, c, k, ..
+        } => Traffic {
             input_elems: (in_h * in_w * c) as u64,
             weight_elems: (c * k) as u64,
             output_elems: (oh * ow * oc) as u64,
@@ -342,13 +345,13 @@ pub fn dram_traffic(
             sram.filter_elems,
         ),
         // Outputs are written once regardless (they stream out).
-        output_elems: unique.output_elems.max(
-            if unique.output_elems <= sram.ofmap_elems {
+        output_elems: unique
+            .output_elems
+            .max(if unique.output_elems <= sram.ofmap_elems {
                 unique.output_elems
             } else {
                 streamed.output_elems
-            },
-        ),
+            }),
     })
 }
 
@@ -488,7 +491,10 @@ mod tests {
             let streamed = op_traffic(&model, &op).unwrap();
             let unique = unique_traffic(&op);
             assert!(dram.input_elems >= unique.input_elems, "{op}");
-            assert!(dram.input_elems <= streamed.input_elems.max(unique.input_elems), "{op}");
+            assert!(
+                dram.input_elems <= streamed.input_elems.max(unique.input_elems),
+                "{op}"
+            );
             assert!(dram.weight_elems >= unique.weight_elems, "{op}");
         }
     }
@@ -535,8 +541,7 @@ mod tests {
         let net = zoo::mobilenet_v1();
         let base = network_dram_traffic(&model, &net, &sram).unwrap();
         let half =
-            network_dram_traffic(&model, &net.transform_all(FuSeVariant::Half), &sram)
-                .unwrap();
+            network_dram_traffic(&model, &net.transform_all(FuSeVariant::Half), &sram).unwrap();
         assert!(half.total() < base.total());
     }
 

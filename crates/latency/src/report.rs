@@ -4,12 +4,29 @@
 use crate::map::{LatencyError, LatencyModel};
 use fuseconv_models::Network;
 use fuseconv_nn::ops::{Op, OpClass};
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Escapes a string for embedding in a JSON string literal (hand-rolled;
+/// the workspace carries no serde).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Latency of a single operator within a network.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpLatency {
     /// Index of the owning block.
     pub block_index: usize,
@@ -18,7 +35,6 @@ pub struct OpLatency {
     /// The operator, pretty-printed.
     pub op_label: String,
     /// The operator's class.
-    #[serde(skip)]
     pub class: OpClass,
     /// MACs performed.
     pub macs: u64,
@@ -26,8 +42,23 @@ pub struct OpLatency {
     pub cycles: u64,
 }
 
+impl OpLatency {
+    /// Serializes to a single JSON object. `class` is omitted, matching
+    /// the crate's historical wire format.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"block_index\":{},\"block_name\":\"{}\",\"op_label\":\"{}\",\"macs\":{},\"cycles\":{}}}",
+            self.block_index,
+            json_escape(&self.block_name),
+            json_escape(&self.op_label),
+            self.macs,
+            self.cycles
+        )
+    }
+}
+
 /// Aggregate latency of one network block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockLatency {
     /// Block index.
     pub index: usize,
@@ -84,7 +115,7 @@ impl fmt::Display for ClassBreakdown {
 }
 
 /// The complete latency estimate of one network on one array.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkLatency {
     /// Network name.
     pub network: String,
@@ -125,6 +156,44 @@ impl NetworkLatency {
     /// Speed-up of `self` relative to `baseline` (`>1` means faster).
     pub fn speedup_over(&self, baseline: &NetworkLatency) -> f64 {
         baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Serializes the whole report to JSON (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let ops: Vec<String> = self.ops.iter().map(|o| o.to_json()).collect();
+        format!(
+            "{{\"network\":\"{}\",\"variant\":\"{}\",\"total_cycles\":{},\"ops\":[{}]}}",
+            json_escape(&self.network),
+            json_escape(&self.variant),
+            self.total_cycles,
+            ops.join(",")
+        )
+    }
+
+    /// Serializes the per-operator detail to CSV, one row per operator
+    /// with a header line. Fields containing commas or quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::from("block_index,block_name,op_label,class,macs,cycles\n");
+        for o in &self.ops {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                o.block_index,
+                field(&o.block_name),
+                field(&o.op_label),
+                o.class,
+                o.macs,
+                o.cycles
+            ));
+        }
+        out
     }
 }
 
@@ -249,8 +318,7 @@ mod tests {
         // Table I direction: all Half variants ≥ 3x on a 64x64 array.
         for net in zoo::all_baselines() {
             let base = estimate_network(&model64(), &net).unwrap();
-            let half =
-                estimate_network(&model64(), &net.transform_all(FuSeVariant::Half)).unwrap();
+            let half = estimate_network(&model64(), &net.transform_all(FuSeVariant::Half)).unwrap();
             let s = half.speedup_over(&base);
             assert!(s >= 3.0, "{}: half speedup {s:.2} < 3", net.name());
         }
@@ -274,10 +342,8 @@ mod tests {
     fn half_beats_full_on_speed() {
         for net in zoo::all_baselines() {
             let base = estimate_network(&model64(), &net).unwrap();
-            let full =
-                estimate_network(&model64(), &net.transform_all(FuSeVariant::Full)).unwrap();
-            let half =
-                estimate_network(&model64(), &net.transform_all(FuSeVariant::Half)).unwrap();
+            let full = estimate_network(&model64(), &net.transform_all(FuSeVariant::Full)).unwrap();
+            let half = estimate_network(&model64(), &net.transform_all(FuSeVariant::Half)).unwrap();
             assert!(
                 half.speedup_over(&base) > full.speedup_over(&base),
                 "{}",
@@ -291,8 +357,7 @@ mod tests {
         // Fig. 8(c): after the transform, latency shifts to pointwise and
         // the FuSe ops account for a small fraction.
         for net in zoo::all_baselines() {
-            let full =
-                estimate_network(&model64(), &net.transform_all(FuSeVariant::Full)).unwrap();
+            let full = estimate_network(&model64(), &net.transform_all(FuSeVariant::Full)).unwrap();
             let bd = full.breakdown();
             let pw = bd.fraction_of(OpClass::Pointwise);
             let fuse = bd.fraction_of(OpClass::FuSe);
@@ -306,8 +371,7 @@ mod tests {
         // Fig. 8(b): initial layers (larger feature maps) benefit more.
         let net = zoo::mobilenet_v2();
         let base = estimate_network(&model64(), &net).unwrap();
-        let full =
-            estimate_network(&model64(), &net.transform_all(FuSeVariant::Full)).unwrap();
+        let full = estimate_network(&model64(), &net.transform_all(FuSeVariant::Full)).unwrap();
         let speedups: Vec<f64> = block_speedups(&base, &full)
             .into_iter()
             .enumerate()
@@ -351,5 +415,24 @@ mod tests {
         let r = estimate_network(&model64(), &net).unwrap();
         assert!(r.to_string().contains("MobileNet-V3-Small"));
         assert!(r.breakdown().to_string().contains("depthwise"));
+    }
+
+    #[test]
+    fn json_and_csv_writers_cover_every_op() {
+        let net = zoo::mobilenet_v2();
+        let r = estimate_network(&model64(), &net).unwrap();
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(&format!("\"total_cycles\":{}", r.total_cycles)));
+        assert_eq!(json.matches("\"op_label\":").count(), r.ops.len());
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), r.ops.len() + 1);
+        assert!(csv.starts_with("block_index,block_name,op_label,class,macs,cycles"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::json_escape("\u{1}"), "\\u0001");
     }
 }

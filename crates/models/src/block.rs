@@ -97,7 +97,12 @@ impl SeparableBlock {
         match self.filter {
             SpatialFilter::Depthwise => {
                 ops.push(Op::depthwise(
-                    self.in_h, self.in_w, self.exp_c, self.k, self.stride, pad,
+                    self.in_h,
+                    self.in_w,
+                    self.exp_c,
+                    self.k,
+                    self.stride,
+                    pad,
                 ));
             }
             SpatialFilter::Fuse(v) => {
@@ -225,7 +230,9 @@ impl Block {
 impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Block::Conv { out_c, k, stride, .. } => {
+            Block::Conv {
+                out_c, k, stride, ..
+            } => {
                 write!(f, "conv{k}x{k}-s{stride}-{out_c}")
             }
             Block::Separable(b) => write!(
@@ -358,7 +365,10 @@ mod tests {
 
     #[test]
     fn display_is_descriptive() {
-        assert_eq!(Block::Separable(v1_block()).to_string(), "depthwise-k3-s2-e128-o256");
+        assert_eq!(
+            Block::Separable(v1_block()).to_string(),
+            "depthwise-k3-s2-e128-o256"
+        );
         assert_eq!(
             Block::Separable(v1_block().fused(FuSeVariant::Full)).to_string(),
             "fuse-full-k3-s2-e128-o256"

@@ -158,8 +158,16 @@ impl Network {
         let label = match (variant, all) {
             (FuSeVariant::Full, true) => "fuse-full".to_string(),
             (FuSeVariant::Half, true) => "fuse-half".to_string(),
-            (FuSeVariant::Full, false) => format!("fuse-full-{}of{}", indices.len(), self.replaceable_indices().len()),
-            (FuSeVariant::Half, false) => format!("fuse-half-{}of{}", indices.len(), self.replaceable_indices().len()),
+            (FuSeVariant::Full, false) => format!(
+                "fuse-full-{}of{}",
+                indices.len(),
+                self.replaceable_indices().len()
+            ),
+            (FuSeVariant::Half, false) => format!(
+                "fuse-half-{}of{}",
+                indices.len(),
+                self.replaceable_indices().len()
+            ),
         };
         Ok(Network {
             name: self.name.clone(),
@@ -267,9 +275,7 @@ mod tests {
         let mut blocks = tiny_network().blocks().to_vec();
         blocks.push(blocks[1].clone()); // a second separable block
         let net = Network::new("tiny2", blocks);
-        let partial = net
-            .transform_selected(FuSeVariant::Half, &[1])
-            .unwrap();
+        let partial = net.transform_selected(FuSeVariant::Half, &[1]).unwrap();
         assert_eq!(partial.variant_label(), "fuse-half-1of2");
         assert_eq!(partial.replaceable_indices().len(), 1);
     }

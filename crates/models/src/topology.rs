@@ -66,10 +66,12 @@ fn err(line: usize, message: impl Into<String>) -> ParseTopologyError {
 }
 
 fn parse_usize(line: usize, field: &str, what: &str) -> Result<usize, ParseTopologyError> {
-    field
-        .trim()
-        .parse()
-        .map_err(|_| err(line, format!("{what} must be an integer, got `{}`", field.trim())))
+    field.trim().parse().map_err(|_| {
+        err(
+            line,
+            format!("{what} must be an integer, got `{}`", field.trim()),
+        )
+    })
 }
 
 /// Parses a topology description into a [`Network`].
@@ -263,10 +265,7 @@ pub fn to_text(network: &Network) -> String {
                 out_c, k, stride, ..
             } => out.push_str(&format!("conv, {out_c}, {k}, {stride}\n")),
             Block::Separable(b) => {
-                let se = b
-                    .se_div
-                    .map(|d| format!(", se{d}"))
-                    .unwrap_or_default();
+                let se = b.se_div.map(|d| format!(", se{d}")).unwrap_or_default();
                 out.push_str(&format!(
                     "sep, {}, {}, {}, {}{se}\n",
                     b.exp_c, b.out_c, b.k, b.stride

@@ -425,7 +425,10 @@ mod tests {
 
     #[test]
     fn mnasnet_block_count() {
-        assert_eq!(mnasnet_b1().replaceable_indices().len(), 1 + 3 + 3 + 3 + 2 + 4 + 1);
+        assert_eq!(
+            mnasnet_b1().replaceable_indices().len(),
+            1 + 3 + 3 + 3 + 2 + 4 + 1
+        );
     }
 
     /// Table I direction checks: Full variants gain MACs and params over

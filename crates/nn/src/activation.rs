@@ -138,8 +138,7 @@ mod tests {
         // Probe away from kinks, where the analytic derivative must agree.
         for act in ACTS {
             for &x in &[-4.0f32, -1.7, -0.4, 0.6, 1.9, 4.2] {
-                let fd =
-                    (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
+                let fd = (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
                 let an = act.derivative_scalar(x);
                 assert!(
                     (fd - an).abs() < 1e-2,

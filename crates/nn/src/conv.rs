@@ -267,9 +267,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.shape().dims(), &[1, 6, 7]);
-        assert!(
-            out.reshape(&[6, 7]).unwrap().max_abs_diff(&gold).unwrap() < 1e-5
-        );
+        assert!(out.reshape(&[6, 7]).unwrap().max_abs_diff(&gold).unwrap() < 1e-5);
     }
 
     #[test]

@@ -43,10 +43,7 @@ impl fmt::Display for NnError {
                 layer,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "{layer} expected input {expected}, got {actual:?}"
-            ),
+            } => write!(f, "{layer} expected input {expected}, got {actual:?}"),
         }
     }
 }

@@ -227,10 +227,8 @@ impl FuSeConv {
             FuSeVariant::Full => (input.clone(), input.clone()),
             FuSeVariant::Half => {
                 let iv = input.as_slice();
-                let first =
-                    Tensor::from_vec(iv[..per_bank * plane].to_vec(), &[per_bank, h, w])?;
-                let second =
-                    Tensor::from_vec(iv[per_bank * plane..].to_vec(), &[per_bank, h, w])?;
+                let first = Tensor::from_vec(iv[..per_bank * plane].to_vec(), &[per_bank, h, w])?;
+                let second = Tensor::from_vec(iv[per_bank * plane..].to_vec(), &[per_bank, h, w])?;
                 (first, second)
             }
         };
@@ -336,8 +334,7 @@ mod tests {
         let l = FuSeConv::new(FuSeVariant::Full, c, 3, 1, row_w, col_w).unwrap();
         let x = seq_tensor(&[c, 5, 5], 0.87);
         // Transpose spatial dims of x.
-        let xt = Tensor::from_fn(&[c, 5, 5], |ix| x.get(&[ix[0], ix[2], ix[1]]).unwrap())
-            .unwrap();
+        let xt = Tensor::from_fn(&[c, 5, 5], |ix| x.get(&[ix[0], ix[2], ix[1]]).unwrap()).unwrap();
         let y = l.forward(&x).unwrap();
         let yt = l.forward(&xt).unwrap();
         // Row output of x == transposed col output of xt.
@@ -384,15 +381,7 @@ mod tests {
         // Odd channels with half variant.
         assert!(FuSeConv::with_constant_weights(FuSeVariant::Half, 3, 3, 1, 0.0).is_err());
         // Zero stride.
-        assert!(FuSeConv::new(
-            FuSeVariant::Full,
-            2,
-            3,
-            0,
-            w_row.clone(),
-            w_col.clone()
-        )
-        .is_err());
+        assert!(FuSeConv::new(FuSeVariant::Full, 2, 3, 0, w_row.clone(), w_col.clone()).is_err());
         // Wrong weight shape for the variant.
         assert!(FuSeConv::new(FuSeVariant::Half, 2, 3, 1, w_row, w_col).is_err());
         // Wrong input channels at forward time.

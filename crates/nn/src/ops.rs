@@ -161,7 +161,14 @@ impl Op {
     }
 
     /// Depthwise convolution descriptor.
-    pub fn depthwise(in_h: usize, in_w: usize, c: usize, k: usize, stride: usize, pad: usize) -> Self {
+    pub fn depthwise(
+        in_h: usize,
+        in_w: usize,
+        c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Op::Depthwise {
             in_h,
             in_w,
@@ -265,16 +272,8 @@ impl Op {
             } => match axis {
                 // The filter axis convolves; the orthogonal axis is
                 // subsampled by the stride (ceil to keep at least one line).
-                Axis1d::Row => (
-                    div_ceil(in_h, stride),
-                    out_extent(in_w, k, stride, pad),
-                    c,
-                ),
-                Axis1d::Col => (
-                    out_extent(in_h, k, stride, pad),
-                    div_ceil(in_w, stride),
-                    c,
-                ),
+                Axis1d::Row => (div_ceil(in_h, stride), out_extent(in_w, k, stride, pad), c),
+                Axis1d::Col => (out_extent(in_h, k, stride, pad), div_ceil(in_w, stride), c),
             },
             Op::Fc { out_features, .. } => (1, 1, out_features),
         }
@@ -284,9 +283,7 @@ impl Op {
     pub fn macs(&self) -> u64 {
         let (oh, ow, _) = self.output_shape();
         match *self {
-            Op::Conv2d {
-                in_c, out_c, k, ..
-            } => (oh * ow * out_c * k * k * in_c) as u64,
+            Op::Conv2d { in_c, out_c, k, .. } => (oh * ow * out_c * k * k * in_c) as u64,
             Op::Depthwise { c, k, .. } => (oh * ow * c * k * k) as u64,
             Op::Pointwise { in_c, out_c, .. } => (oh * ow * in_c * out_c) as u64,
             Op::FuSe1d { c, k, .. } => (oh * ow * c * k) as u64,
@@ -302,9 +299,7 @@ impl Op {
     /// them).
     pub fn params(&self) -> u64 {
         match *self {
-            Op::Conv2d {
-                in_c, out_c, k, ..
-            } => (out_c * k * k * in_c) as u64,
+            Op::Conv2d { in_c, out_c, k, .. } => (out_c * k * k * in_c) as u64,
             Op::Depthwise { c, k, .. } => (c * k * k) as u64,
             Op::Pointwise { in_c, out_c, .. } => (in_c * out_c) as u64,
             Op::FuSe1d { c, k, .. } => (c * k) as u64,
@@ -327,10 +322,7 @@ impl fmt::Display for Op {
                 k,
                 stride,
                 ..
-            } => write!(
-                f,
-                "conv {k}x{k} s{stride} {in_c}->{out_c} @{in_h}x{in_w}"
-            ),
+            } => write!(f, "conv {k}x{k} s{stride} {in_c}->{out_c} @{in_h}x{in_w}"),
             Op::Depthwise {
                 in_h,
                 in_w,
@@ -451,10 +443,7 @@ mod tests {
         let (n, m, c, k, c_out) = (14usize, 14usize, 96usize, 3usize, 160usize);
         let dw = Op::depthwise(n, m, c, k, 1, 1);
         let pw = Op::pointwise(n, m, c, c_out);
-        assert_eq!(
-            dw.macs() + pw.macs(),
-            (n * m * c * (k * k + c_out)) as u64
-        );
+        assert_eq!(dw.macs() + pw.macs(), (n * m * c * (k * k + c_out)) as u64);
     }
 
     #[test]

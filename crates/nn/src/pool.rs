@@ -92,8 +92,7 @@ mod tests {
 
     #[test]
     fn avg_pool_then_global_equals_global() {
-        let t = Tensor::from_fn(&[3, 4, 4], |ix| ((ix[0] + ix[1] * 2 + ix[2]) % 7) as f32)
-            .unwrap();
+        let t = Tensor::from_fn(&[3, 4, 4], |ix| ((ix[0] + ix[1] * 2 + ix[2]) % 7) as f32).unwrap();
         let direct = global_avg_pool(&t).unwrap();
         let two_step = global_avg_pool(&avg_pool(&t, 2).unwrap()).unwrap();
         assert!(direct.max_abs_diff(&two_step).unwrap() < 1e-5);

@@ -229,10 +229,7 @@ mod tests {
     #[test]
     fn eval_affine() {
         // 2*i + j - 3 at (i, j) = (4, 5) → 10.
-        let e = IndexExpr::axis(0)
-            .mul_const(2)
-             + (IndexExpr::axis(1))
-             - (IndexExpr::constant(3));
+        let e = IndexExpr::axis(0).mul_const(2) + (IndexExpr::axis(1)) - (IndexExpr::constant(3));
         assert_eq!(e.eval(&[4, 5]), 10);
         assert!(e.is_affine());
     }
@@ -272,9 +269,7 @@ mod tests {
     #[test]
     fn cancellation_is_still_affine() {
         // (i + k) - k reduces to i: affine with unit coefficient.
-        let e = IndexExpr::axis(0)
-             + (IndexExpr::axis(2))
-             - (IndexExpr::axis(2));
+        let e = IndexExpr::axis(0) + (IndexExpr::axis(2)) - (IndexExpr::axis(2));
         assert_eq!(e.as_axis_offset(), Some((0, 0)));
     }
 

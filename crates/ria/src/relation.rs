@@ -370,7 +370,10 @@ mod tests {
                 vec![
                     Term::new(
                         "C",
-                        vec![IndexExpr::axis(0), IndexExpr::axis(1) - (IndexExpr::constant(1))],
+                        vec![
+                            IndexExpr::axis(0),
+                            IndexExpr::axis(1) - (IndexExpr::constant(1)),
+                        ],
                     ),
                     same_point("A", 2),
                 ],

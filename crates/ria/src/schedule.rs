@@ -222,9 +222,9 @@ mod tests {
     fn matmul_maps_to_2d_array() {
         let m = map_to_array(&algorithms::matmul()).unwrap();
         assert_eq!(m.array_rank(), 2);
-        assert!(m.schedule().is_valid_for(
-            &algorithms::matmul().dependence_vectors().unwrap()
-        ));
+        assert!(m
+            .schedule()
+            .is_valid_for(&algorithms::matmul().dependence_vectors().unwrap()));
     }
 
     #[test]
@@ -257,33 +257,65 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod exhaustive_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Any schedule found by the search satisfies τ·d ≥ 1 for every
-        /// dependence it was given.
-        #[test]
-        fn found_schedules_are_valid(
-            deps in proptest::collection::vec(
-                proptest::collection::vec(-2i64..=2, 3),
-                0..6,
-            )
-        ) {
-            // Discard degenerate all-zero dependences (cannot be satisfied
-            // and cannot arise from single-assignment RIAs).
-            let deps: Vec<Vec<i64>> =
-                deps.into_iter().filter(|d| d.iter().any(|&x| x != 0)).collect();
-            match find_schedule(&deps, 3) {
-                Ok(s) => prop_assert!(s.is_valid_for(&deps)),
-                Err(MapError::NoSchedule) => {
-                    // Acceptable: e.g. opposing dependences. Verify at least
-                    // that the all-ones schedule indeed fails.
-                    let ones = Schedule::new(vec![1, 1, 1]);
-                    prop_assert!(!ones.is_valid_for(&deps));
+    /// All 124 nonzero rank-3 dependence vectors with entries in −2..=2.
+    fn all_deps() -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        for a in -2i64..=2 {
+            for b in -2i64..=2 {
+                for c in -2i64..=2 {
+                    if (a, b, c) != (0, 0, 0) {
+                        out.push(vec![a, b, c]);
+                    }
                 }
-                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+        out
+    }
+
+    /// Any schedule found by the search satisfies τ·d ≥ 1 for every
+    /// dependence it was given; when the search reports `NoSchedule`, at
+    /// least the all-ones schedule must indeed fail.
+    fn check(deps: &[Vec<i64>]) {
+        match find_schedule(deps, 3) {
+            Ok(s) => assert!(s.is_valid_for(deps), "invalid schedule for {deps:?}"),
+            Err(MapError::NoSchedule) => {
+                let ones = Schedule::new(vec![1, 1, 1]);
+                assert!(!ones.is_valid_for(deps), "ones works for {deps:?}");
+            }
+            Err(e) => panic!("unexpected error {e} for {deps:?}"),
+        }
+    }
+
+    #[test]
+    fn found_schedules_are_valid_for_every_single_dep() {
+        check(&[]);
+        for d in all_deps() {
+            check(&[d]);
+        }
+    }
+
+    #[test]
+    fn found_schedules_are_valid_for_every_dep_pair() {
+        let deps = all_deps();
+        for (i, u) in deps.iter().enumerate() {
+            for v in deps.iter().skip(i) {
+                check(&[u.clone(), v.clone()]);
+            }
+        }
+    }
+
+    #[test]
+    fn found_schedules_are_valid_for_sampled_triples() {
+        // A stride-sampled subset keeps the triple cross-product tractable.
+        let deps: Vec<Vec<i64>> = all_deps().into_iter().step_by(7).collect();
+        for (i, u) in deps.iter().enumerate() {
+            for (j, v) in deps.iter().enumerate().skip(i) {
+                for w in deps.iter().skip(j) {
+                    check(&[u.clone(), v.clone(), w.clone()]);
+                }
             }
         }
     }

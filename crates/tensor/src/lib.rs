@@ -30,6 +30,7 @@ pub mod error;
 pub mod gemm;
 pub mod half;
 pub mod im2col;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 

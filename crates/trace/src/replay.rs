@@ -1,0 +1,146 @@
+//! Analytic fold replay.
+//!
+//! Cycle-exact simulation of a whole network at paper scale (a 64×64 array
+//! over all of MobileNet-V2) is infeasible — but the analytic latency model
+//! knows every fold's shape and phase split. A [`FoldSpec`] captures that
+//! per-fold provenance, and [`replay`] drives any [`TraceSink`] with the
+//! fold/cycle event stream those specs imply, so whole-network Chrome
+//! traces and utilization summaries come from the same sink code paths the
+//! simulator uses.
+//!
+//! Replayed `Cycle` events spread each fold's MACs uniformly over its
+//! compute phase; per-PE events are not generated (there is no simulated
+//! array), so heatmaps require a real simulation.
+
+use crate::event::{FoldKind, Phase, TraceEvent, TraceSink};
+
+/// The analytic description of one fold: its dataflow, occupancy, phase
+/// lengths and work, plus a provenance `tag` linking it back to whatever
+/// produced it (typically an op index within a network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldSpec {
+    /// Provenance tag, copied into the emitted `FoldStart`.
+    pub tag: u64,
+    /// Dataflow the fold executes under.
+    pub kind: FoldKind,
+    /// Array rows the fold occupies.
+    pub rows_used: u32,
+    /// Array columns the fold occupies.
+    pub cols_used: u32,
+    /// Fill-phase cycles (operand preload; zero for output-stationary).
+    pub fill: u64,
+    /// Compute-phase cycles.
+    pub compute: u64,
+    /// Drain-phase cycles.
+    pub drain: u64,
+    /// Total MACs performed by the fold.
+    pub macs: u64,
+}
+
+impl FoldSpec {
+    /// Total cycles of the fold.
+    pub fn cycles(&self) -> u64 {
+        self.fill + self.compute + self.drain
+    }
+}
+
+/// Emits the event stream implied by `specs` into `sink`, folds back to
+/// back starting at cycle 0. Returns the total cycle count (the sum of all
+/// fold cycles — by construction identical to the analytic latency model's
+/// estimate when the specs come from it).
+pub fn replay(specs: &[FoldSpec], sink: &mut dyn TraceSink) -> u64 {
+    let mut cycle = 0u64;
+    for (fold, spec) in specs.iter().enumerate() {
+        let fold = fold as u64;
+        sink.on_event(&TraceEvent::FoldStart {
+            fold,
+            tag: spec.tag,
+            cycle,
+            kind: spec.kind,
+            rows_used: spec.rows_used,
+            cols_used: spec.cols_used,
+        });
+        for _ in 0..spec.fill {
+            sink.on_event(&TraceEvent::Cycle {
+                cycle,
+                phase: Phase::Fill,
+                busy: 0,
+            });
+            cycle += 1;
+        }
+        // Spread the fold's MACs uniformly over the compute window: the
+        // first `macs % compute` cycles carry one extra so the total is
+        // exact.
+        let base = spec.macs.checked_div(spec.compute).unwrap_or(0);
+        let extra = spec.macs.checked_rem(spec.compute).unwrap_or(0);
+        for i in 0..spec.compute {
+            let busy = base + u64::from(i < extra);
+            sink.on_event(&TraceEvent::Cycle {
+                cycle,
+                phase: Phase::Compute,
+                busy: busy.min(u32::MAX as u64) as u32,
+            });
+            cycle += 1;
+        }
+        for _ in 0..spec.drain {
+            sink.on_event(&TraceEvent::Cycle {
+                cycle,
+                phase: Phase::Drain,
+                busy: 0,
+            });
+            cycle += 1;
+        }
+        sink.on_event(&TraceEvent::FoldEnd { fold, cycle });
+    }
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UtilizationSink;
+
+    fn spec(tag: u64, fill: u64, compute: u64, drain: u64, macs: u64) -> FoldSpec {
+        FoldSpec {
+            tag,
+            kind: FoldKind::OutputStationary,
+            rows_used: 4,
+            cols_used: 4,
+            fill,
+            compute,
+            drain,
+            macs,
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_total_cycles_and_macs() {
+        let specs = [spec(0, 2, 10, 3, 37), spec(1, 0, 5, 1, 12)];
+        let mut sink = UtilizationSink::new(4, 4);
+        let cycles = replay(&specs, &mut sink);
+        assert_eq!(cycles, 15 + 6);
+        assert_eq!(sink.cycles(), cycles);
+        assert_eq!(sink.busy_pe_cycles(), 37 + 12);
+        assert_eq!(sink.phase_cycles(), (2, 15, 4));
+        assert_eq!(sink.fold_stats()[1].tag, 1);
+    }
+
+    #[test]
+    fn mac_spreading_is_exact_even_when_indivisible() {
+        let mut sink = UtilizationSink::new(8, 8);
+        replay(&[spec(0, 0, 7, 0, 23)], &mut sink);
+        assert_eq!(sink.busy_pe_cycles(), 23);
+        // 23 = 7·3 + 2: two cycles of 4, five of 3.
+        let busy = sink.per_cycle_busy();
+        assert_eq!(busy.iter().filter(|&&b| b == 4).count(), 2);
+        assert_eq!(busy.iter().filter(|&&b| b == 3).count(), 5);
+    }
+
+    #[test]
+    fn zero_compute_fold_is_degenerate_but_safe() {
+        let mut sink = UtilizationSink::new(2, 2);
+        let cycles = replay(&[spec(0, 1, 0, 1, 0)], &mut sink);
+        assert_eq!(cycles, 2);
+        assert_eq!(sink.busy_pe_cycles(), 0);
+    }
+}

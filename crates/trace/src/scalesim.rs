@@ -1,0 +1,184 @@
+//! SCALE-Sim-compatible SRAM trace writer.
+//!
+//! SCALE-Sim (the tool the paper's methodology builds on, §V-A-3) emits
+//! three cycle-stamped CSV traces per run: `ifmap_sram_read`,
+//! `filter_sram_read` and `ofmap_sram_write`. Each line is a cycle number
+//! followed by every address touched that cycle:
+//!
+//! ```text
+//! cycle,addr,addr,addr,...
+//! ```
+//!
+//! Addresses for the three streams live in disjoint regions, offset by the
+//! SCALE-Sim defaults ([`IFMAP_BASE`], [`FILTER_BASE`], [`OFMAP_BASE`]), so
+//! the three traces can be concatenated or diffed without collisions.
+
+use crate::event::{Operand, TraceEvent, TraceSink};
+
+/// Base address of the ifmap SRAM region (SCALE-Sim default).
+pub const IFMAP_BASE: u64 = 0;
+/// Base address of the filter SRAM region (SCALE-Sim default).
+pub const FILTER_BASE: u64 = 10_000_000;
+/// Base address of the ofmap SRAM region (SCALE-Sim default).
+pub const OFMAP_BASE: u64 = 20_000_000;
+
+/// Accumulates per-cycle SRAM access lists and renders them as
+/// SCALE-Sim-layout CSV.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleSimSink {
+    ifmap: Vec<(u64, Vec<u64>)>,
+    filter: Vec<(u64, Vec<u64>)>,
+    ofmap: Vec<(u64, Vec<u64>)>,
+}
+
+fn push(table: &mut Vec<(u64, Vec<u64>)>, cycle: u64, addr: u64) {
+    match table.last_mut() {
+        Some((c, addrs)) if *c == cycle => addrs.push(addr),
+        _ => table.push((cycle, vec![addr])),
+    }
+}
+
+fn render(table: &[(u64, Vec<u64>)]) -> String {
+    let mut out = String::new();
+    for (cycle, addrs) in table {
+        out.push_str(&cycle.to_string());
+        for a in addrs {
+            out.push(',');
+            out.push_str(&a.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+impl ScaleSimSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `ifmap_sram_read` trace: one line per cycle with at least one
+    /// ifmap read, `cycle,addr,...`.
+    pub fn ifmap_read_csv(&self) -> String {
+        render(&self.ifmap)
+    }
+
+    /// The `filter_sram_read` trace.
+    pub fn filter_read_csv(&self) -> String {
+        render(&self.filter)
+    }
+
+    /// The `ofmap_sram_write` trace.
+    pub fn ofmap_write_csv(&self) -> String {
+        render(&self.ofmap)
+    }
+
+    /// All three traces in one file, each line prefixed with the stream
+    /// name: `stream,cycle,addr,...`. Convenient for single-file output;
+    /// split on the first field to recover the three SCALE-Sim files.
+    pub fn combined_csv(&self) -> String {
+        let mut out = String::new();
+        for (name, table) in [
+            ("ifmap_sram_read", &self.ifmap),
+            ("filter_sram_read", &self.filter),
+            ("ofmap_sram_write", &self.ofmap),
+        ] {
+            for line in render(table).lines() {
+                out.push_str(name);
+                out.push(',');
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Total number of SRAM accesses recorded, per stream
+    /// `(ifmap_reads, filter_reads, ofmap_writes)`.
+    pub fn access_counts(&self) -> (u64, u64, u64) {
+        let count = |t: &[(u64, Vec<u64>)]| t.iter().map(|(_, a)| a.len() as u64).sum();
+        (count(&self.ifmap), count(&self.filter), count(&self.ofmap))
+    }
+}
+
+impl TraceSink for ScaleSimSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::OperandRead {
+                cycle,
+                operand,
+                addr,
+                ..
+            } => match operand {
+                Operand::Ifmap => push(&mut self.ifmap, cycle, IFMAP_BASE + addr),
+                Operand::Filter => push(&mut self.filter, cycle, FILTER_BASE + addr),
+                Operand::Ofmap => push(&mut self.ofmap, cycle, OFMAP_BASE + addr),
+            },
+            TraceEvent::OutputWrite { cycle, addr } => {
+                push(&mut self.ofmap, cycle, OFMAP_BASE + addr);
+            }
+            _ => {}
+        }
+    }
+
+    fn wants_operand_events(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(cycle: u64, operand: Operand, addr: u64) -> TraceEvent {
+        TraceEvent::OperandRead {
+            cycle,
+            operand,
+            lane: 0,
+            addr,
+        }
+    }
+
+    #[test]
+    fn accesses_group_by_cycle() {
+        let mut s = ScaleSimSink::new();
+        s.on_event(&read(3, Operand::Ifmap, 10));
+        s.on_event(&read(3, Operand::Ifmap, 11));
+        s.on_event(&read(5, Operand::Ifmap, 12));
+        assert_eq!(s.ifmap_read_csv(), "3,10,11\n5,12\n");
+    }
+
+    #[test]
+    fn streams_are_offset_into_disjoint_regions() {
+        let mut s = ScaleSimSink::new();
+        s.on_event(&read(0, Operand::Ifmap, 7));
+        s.on_event(&read(0, Operand::Filter, 7));
+        s.on_event(&TraceEvent::OutputWrite { cycle: 1, addr: 7 });
+        assert_eq!(s.ifmap_read_csv(), "0,7\n");
+        assert_eq!(s.filter_read_csv(), "0,10000007\n");
+        assert_eq!(s.ofmap_write_csv(), "1,20000007\n");
+        assert_eq!(s.access_counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn combined_csv_prefixes_stream_names() {
+        let mut s = ScaleSimSink::new();
+        s.on_event(&read(2, Operand::Filter, 1));
+        s.on_event(&TraceEvent::OutputWrite { cycle: 4, addr: 0 });
+        let csv = s.combined_csv();
+        assert!(csv.contains("filter_sram_read,2,10000001\n"));
+        assert!(csv.contains("ofmap_sram_write,4,20000000\n"));
+        assert!(!csv.contains("ifmap_sram_read,"));
+    }
+
+    #[test]
+    fn non_operand_events_are_ignored() {
+        let mut s = ScaleSimSink::new();
+        s.on_event(&TraceEvent::Cycle {
+            cycle: 0,
+            phase: crate::Phase::Compute,
+            busy: 9,
+        });
+        assert!(s.combined_csv().is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! In-memory utilization aggregator.
+//!
+//! This sink reconstructs the quantities the paper argues about in §III-B:
+//! how many PEs are busy each cycle, which PEs ever do useful work (the
+//! per-PE *heatmap*), and how each fold's cycles split across fill, compute
+//! and drain. The headline result — im2col'd depthwise convolution confines
+//! work to a single array column while FuSe row-broadcast fills both array
+//! dimensions — falls directly out of [`UtilizationSink::active_cols`] and
+//! [`UtilizationSink::active_rows`].
+
+use crate::event::{FoldKind, Phase, TraceEvent, TraceSink};
+
+/// Per-fold cycle accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Provenance tag carried by the fold's `FoldStart`.
+    pub tag: u64,
+    /// Dataflow the fold executed under.
+    pub kind: FoldKind,
+    /// Array rows the fold occupied.
+    pub rows_used: u32,
+    /// Array columns the fold occupied.
+    pub cols_used: u32,
+    /// Cycles spent in the fill phase.
+    pub fill: u64,
+    /// Cycles spent in the compute phase.
+    pub compute: u64,
+    /// Cycles spent in the drain phase.
+    pub drain: u64,
+    /// Total PE-cycles of useful work (MACs) in the fold.
+    pub busy_pe_cycles: u64,
+}
+
+impl FoldStats {
+    /// Total cycles of the fold.
+    pub fn cycles(&self) -> u64 {
+        self.fill + self.compute + self.drain
+    }
+}
+
+/// Aggregates busy counts, a per-PE fire heatmap and per-fold phase
+/// breakdowns from a trace.
+#[derive(Debug, Clone)]
+pub struct UtilizationSink {
+    rows: usize,
+    cols: usize,
+    per_cycle_busy: Vec<u32>,
+    heat: Vec<u64>,
+    folds: Vec<FoldStats>,
+}
+
+impl UtilizationSink {
+    /// A sink for a `rows × cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+        UtilizationSink {
+            rows,
+            cols,
+            per_cycle_busy: Vec::new(),
+            heat: vec![0; rows * cols],
+            folds: Vec::new(),
+        }
+    }
+
+    /// Total cycles observed — one per `Cycle` event, so this equals the
+    /// simulator's `SimResult::cycles()` exactly.
+    pub fn cycles(&self) -> u64 {
+        self.per_cycle_busy.len() as u64
+    }
+
+    /// Total PE-cycles of useful work.
+    pub fn busy_pe_cycles(&self) -> u64 {
+        self.per_cycle_busy.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Average fraction of the array doing useful work, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.per_cycle_busy.is_empty() {
+            return 0.0;
+        }
+        self.busy_pe_cycles() as f64 / (self.cycles() * (self.rows * self.cols) as u64) as f64
+    }
+
+    /// The per-cycle busy-PE counts, in cycle order.
+    pub fn per_cycle_busy(&self) -> &[u32] {
+        &self.per_cycle_busy
+    }
+
+    /// Per-fold statistics, in fold order.
+    pub fn fold_stats(&self) -> &[FoldStats] {
+        &self.folds
+    }
+
+    /// Total `(fill, compute, drain)` cycles across all folds.
+    pub fn phase_cycles(&self) -> (u64, u64, u64) {
+        self.folds.iter().fold((0, 0, 0), |(f, c, d), s| {
+            (f + s.fill, c + s.compute, d + s.drain)
+        })
+    }
+
+    /// MAC count of PE `(row, col)` over the whole trace.
+    pub fn pe_fires(&self, row: usize, col: usize) -> u64 {
+        self.heat[row * self.cols + col]
+    }
+
+    /// Number of array rows in which at least one PE ever fired.
+    pub fn active_rows(&self) -> usize {
+        (0..self.rows)
+            .filter(|&r| (0..self.cols).any(|c| self.pe_fires(r, c) > 0))
+            .count()
+    }
+
+    /// Number of array columns in which at least one PE ever fired.
+    ///
+    /// Under im2col'd depthwise convolution this is 1 regardless of array
+    /// size (§III-B); under FuSe row-broadcast it spans the whole tile.
+    pub fn active_cols(&self) -> usize {
+        (0..self.cols)
+            .filter(|&c| (0..self.rows).any(|r| self.pe_fires(r, c) > 0))
+            .count()
+    }
+
+    /// The heatmap as CSV: one line per array row, `rows × cols` MAC
+    /// counts, with a `pe\col0,...` header row.
+    pub fn heatmap_csv(&self) -> String {
+        let mut out = String::from("pe");
+        for c in 0..self.cols {
+            out.push_str(&format!(",col{c}"));
+        }
+        out.push('\n');
+        for r in 0..self.rows {
+            out.push_str(&format!("row{r}"));
+            for c in 0..self.cols {
+                out.push_str(&format!(",{}", self.pe_fires(r, c)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// An ASCII rendering of the heatmap: one character per PE, dark ramp
+    /// `.:-=+*#%@` scaled to the busiest PE (`' '` for PEs that never
+    /// fire). One text row per array row.
+    pub fn heatmap_ascii(&self) -> String {
+        const RAMP: &[u8] = b".:-=+*#%@";
+        let max = self.heat.iter().copied().max().unwrap_or(0);
+        let mut out = String::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let fires = self.pe_fires(r, c);
+                if fires == 0 {
+                    out.push(' ');
+                } else {
+                    let idx = (fires * (RAMP.len() as u64 - 1)) / max;
+                    out.push(RAMP[idx as usize] as char);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for UtilizationSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::FoldStart {
+                tag,
+                kind,
+                rows_used,
+                cols_used,
+                ..
+            } => self.folds.push(FoldStats {
+                tag,
+                kind,
+                rows_used,
+                cols_used,
+                fill: 0,
+                compute: 0,
+                drain: 0,
+                busy_pe_cycles: 0,
+            }),
+            TraceEvent::Cycle { phase, busy, .. } => {
+                self.per_cycle_busy.push(busy);
+                if let Some(fold) = self.folds.last_mut() {
+                    match phase {
+                        Phase::Fill => fold.fill += 1,
+                        Phase::Compute => fold.compute += 1,
+                        Phase::Drain => fold.drain += 1,
+                    }
+                    fold.busy_pe_cycles += busy as u64;
+                }
+            }
+            TraceEvent::PeFire { row, col, .. } => {
+                let (row, col) = (row as usize, col as usize);
+                if row < self.rows && col < self.cols {
+                    self.heat[row * self.cols + col] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn wants_pe_fires(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sink: &mut UtilizationSink) {
+        sink.on_event(&TraceEvent::FoldStart {
+            fold: 0,
+            tag: 9,
+            cycle: 0,
+            kind: FoldKind::RowBroadcast,
+            rows_used: 2,
+            cols_used: 2,
+        });
+        for (cycle, phase, busy) in [
+            (0u64, Phase::Fill, 0u32),
+            (1, Phase::Compute, 4),
+            (2, Phase::Compute, 4),
+            (3, Phase::Drain, 0),
+        ] {
+            if busy > 0 {
+                for row in 0..2 {
+                    for col in 0..2 {
+                        sink.on_event(&TraceEvent::PeFire { cycle, row, col });
+                    }
+                }
+            }
+            sink.on_event(&TraceEvent::Cycle { cycle, phase, busy });
+        }
+        sink.on_event(&TraceEvent::FoldEnd { fold: 0, cycle: 4 });
+    }
+
+    #[test]
+    fn counts_cycles_phases_and_busy_work() {
+        let mut s = UtilizationSink::new(2, 3);
+        feed(&mut s);
+        assert_eq!(s.cycles(), 4);
+        assert_eq!(s.busy_pe_cycles(), 8);
+        assert_eq!(s.phase_cycles(), (1, 2, 1));
+        let fold = s.fold_stats()[0];
+        assert_eq!(fold.tag, 9);
+        assert_eq!(fold.cycles(), 4);
+        assert_eq!(fold.busy_pe_cycles, 8);
+        assert!((s.utilization() - 8.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heatmap_tracks_active_rows_and_cols() {
+        let mut s = UtilizationSink::new(2, 3);
+        feed(&mut s);
+        assert_eq!(s.pe_fires(0, 0), 2);
+        assert_eq!(s.pe_fires(1, 2), 0);
+        assert_eq!(s.active_rows(), 2);
+        assert_eq!(s.active_cols(), 2);
+        let csv = s.heatmap_csv();
+        assert!(csv.starts_with("pe,col0,col1,col2\n"));
+        assert!(csv.contains("row0,2,2,0\n"));
+        let ascii = s.heatmap_ascii();
+        assert_eq!(ascii, "@@ \n@@ \n");
+    }
+
+    #[test]
+    fn empty_trace_is_well_defined() {
+        let s = UtilizationSink::new(1, 1);
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.heatmap_ascii(), " \n");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be nonzero")]
+    fn zero_dimensions_rejected() {
+        let _ = UtilizationSink::new(0, 1);
+    }
+}

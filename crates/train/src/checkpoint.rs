@@ -8,7 +8,6 @@
 //! touched.
 
 use crate::Sequential;
-use bytes::{Buf, BufMut, BytesMut};
 use std::error::Error;
 use std::fmt;
 
@@ -73,24 +72,68 @@ impl fmt::Display for CheckpointError {
 
 impl Error for CheckpointError {}
 
+/// A little-endian reader over a byte slice; every read checks bounds so a
+/// truncated payload surfaces as [`CheckpointError::Truncated`] instead of
+/// a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, CheckpointError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_bits(self.get_u32_le()?))
+    }
+}
+
 /// Serializes every parameter of `net` into a checkpoint payload.
 pub fn save(net: &mut Sequential) -> Vec<u8> {
     let params = net.params_mut();
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(params.len() as u32);
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for p in params {
         let dims = p.value.shape().dims();
-        buf.put_u8(dims.len() as u8);
+        buf.push(dims.len() as u8);
         for &d in dims {
-            buf.put_u32_le(d as u32);
+            buf.extend_from_slice(&(d as u32).to_le_bytes());
         }
         for &v in p.value.as_slice() {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    buf.to_vec()
+    buf
 }
 
 /// Restores every parameter of `net` from a checkpoint payload. Gradients
@@ -102,20 +145,19 @@ pub fn save(net: &mut Sequential) -> Vec<u8> {
 /// Returns [`CheckpointError`] on corrupt payloads or architecture
 /// mismatches.
 pub fn load(net: &mut Sequential, payload: &[u8]) -> Result<(), CheckpointError> {
-    let mut buf = payload;
+    let mut buf = Cursor::new(payload);
     if buf.remaining() < MAGIC.len() + 2 + 4 {
         return Err(CheckpointError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let magic = buf.take(4)?;
+    if magic != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = buf.get_u16_le()?;
     if version != VERSION {
         return Err(CheckpointError::BadVersion { found: version });
     }
-    let stored_count = buf.get_u32_le() as usize;
+    let stored_count = buf.get_u32_le()? as usize;
     let mut params = net.params_mut();
     if stored_count != params.len() {
         return Err(CheckpointError::CountMismatch {
@@ -128,14 +170,14 @@ pub fn load(net: &mut Sequential, payload: &[u8]) -> Result<(), CheckpointError>
     // network untouched.
     let mut values: Vec<Vec<f32>> = Vec::with_capacity(stored_count);
     for (index, p) in params.iter().enumerate() {
-        if buf.remaining() < 1 {
-            return Err(CheckpointError::Truncated);
-        }
-        let rank = buf.get_u8() as usize;
+        let rank = buf.get_u8()? as usize;
         if buf.remaining() < rank * 4 {
             return Err(CheckpointError::Truncated);
         }
-        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u32_le()? as usize);
+        }
         let expected = p.value.shape().dims().to_vec();
         if dims != expected {
             return Err(CheckpointError::ShapeMismatch {
@@ -149,7 +191,11 @@ pub fn load(net: &mut Sequential, payload: &[u8]) -> Result<(), CheckpointError>
         if buf.remaining() < volume * 4 {
             return Err(CheckpointError::Truncated);
         }
-        values.push((0..volume).map(|_| buf.get_f32_le()).collect());
+        let mut vals = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            vals.push(buf.get_f32_le()?);
+        }
+        values.push(vals);
     }
     for (p, vals) in params.iter_mut().zip(values) {
         p.value.as_mut_slice().copy_from_slice(&vals);
@@ -224,7 +270,10 @@ mod tests {
         let err = load(&mut b, &payload).unwrap_err();
         // Parameter order: pointwise weight (0), dense weight (1), dense
         // bias (2); the dense weight is the first mismatch.
-        assert!(matches!(err, CheckpointError::ShapeMismatch { index: 1, .. }));
+        assert!(matches!(
+            err,
+            CheckpointError::ShapeMismatch { index: 1, .. }
+        ));
         assert_eq!(b.params_mut()[0].value.as_slice(), &before[..]);
         // Wrong parameter count.
         let mut c = Sequential::new();

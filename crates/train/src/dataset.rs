@@ -10,9 +10,8 @@
 //! accuracy of baseline vs Full vs Half variants on this task mirrors the
 //! paper's ImageNet observation (Table I).
 
+use fuseconv_tensor::rng::Rng;
 use fuseconv_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator configuration for the oriented-texture task.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +57,7 @@ impl OrientedTextures {
     /// Generates `n` labelled samples deterministically from `seed`.
     /// Labels are balanced round-robin.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<(Tensor, usize)> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n)
             .map(|i| {
                 let label = i % self.classes;
@@ -68,18 +67,18 @@ impl OrientedTextures {
     }
 
     /// Generates one sample of the given class.
-    fn sample(&self, label: usize, rng: &mut StdRng) -> Tensor {
+    fn sample(&self, label: usize, rng: &mut Rng) -> Tensor {
         let theta = std::f32::consts::PI * label as f32 / self.classes as f32;
         let (c, s) = (theta.cos(), theta.sin());
-        let freq = rng.random_range(0.55..0.95); // radians per pixel
-        let phase = rng.random_range(0.0..std::f32::consts::TAU);
+        let freq = rng.uniform(0.55, 0.95); // radians per pixel
+        let phase = rng.uniform(0.0, std::f32::consts::TAU);
         let noise = self.noise;
         let size = self.size;
         Tensor::from_fn(&[1, size, size], |ix| {
             let (y, x) = (ix[1] as f32, ix[2] as f32);
             let proj = x * c + y * s;
             let jitter = if noise > 0.0 {
-                rng.random_range(-noise..noise)
+                rng.uniform(-noise, noise)
             } else {
                 0.0
             };
@@ -138,18 +137,18 @@ impl DiagonalStripes {
     /// labels balanced round-robin (0 = stripes along `x−y`, 1 = along
     /// `x+y`).
     pub fn generate(&self, n: usize, seed: u64) -> Vec<(Tensor, usize)> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n)
             .map(|i| {
                 let label = i % 2;
-                let freq = rng.random_range(0.55..0.95);
-                let phase = rng.random_range(0.0..std::f32::consts::TAU);
+                let freq = rng.uniform(0.55, 0.95);
+                let phase = rng.uniform(0.0, std::f32::consts::TAU);
                 let noise = self.noise;
                 let img = Tensor::from_fn(&[1, self.size, self.size], |ix| {
                     let (y, x) = (ix[1] as f32, ix[2] as f32);
                     let proj = if label == 0 { x - y } else { x + y };
                     let jitter = if noise > 0.0 {
-                        rng.random_range(-noise..noise)
+                        rng.uniform(-noise, noise)
                     } else {
                         0.0
                     };

@@ -105,8 +105,8 @@ mod tests {
             lp.as_mut_slice()[i] += eps;
             let mut lm = logits.clone();
             lm.as_mut_slice()[i] -= eps;
-            let fd = (cross_entropy(&lp, 2).unwrap().0 - cross_entropy(&lm, 2).unwrap().0)
-                / (2.0 * eps);
+            let fd =
+                (cross_entropy(&lp, 2).unwrap().0 - cross_entropy(&lm, 2).unwrap().0) / (2.0 * eps);
             assert!((fd - grad.as_slice()[i]).abs() < 1e-3);
         }
     }

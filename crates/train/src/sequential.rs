@@ -173,7 +173,11 @@ mod tests {
         let after: f32 = net.params_mut()[0].grad.as_slice().iter().sum();
         assert!((after - before * 0.5).abs() < 1e-6);
         net.zero_grad();
-        assert!(net.params_mut()[0].grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(net.params_mut()[0]
+            .grad
+            .as_slice()
+            .iter()
+            .all(|&g| g == 0.0));
     }
 
     #[test]

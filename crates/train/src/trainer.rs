@@ -4,10 +4,8 @@ use crate::loss::{argmax, cross_entropy};
 use crate::optim::{ExpDecay, RmsProp, WeightEma};
 use crate::Sequential;
 use fuseconv_nn::NnError;
+use fuseconv_tensor::rng::Rng;
 use fuseconv_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Training hyper-parameters (defaults follow §V-A-2 scaled to the small
 /// synthetic task).
@@ -94,13 +92,13 @@ pub fn train(
     let mut opt = RmsProp::new(cfg.base_lr);
     let schedule = ExpDecay::paper(cfg.base_lr);
     let mut ema = cfg.ema_decay.map(WeightEma::new);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..train_data.len()).collect();
     let mut epochs = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
         opt.set_lr(schedule.lr_at(epoch));
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut total_loss = 0.0f64;
         for batch in order.chunks(cfg.batch_size.max(1)) {
             net.zero_grad();
@@ -147,8 +145,7 @@ pub fn train(
 #[cfg(test)]
 pub(crate) mod tests_support {
     use crate::layers::{
-        ActivationLayer, AvgPoolLayer, Conv2dLayer, DenseLayer, GlobalPoolLayer,
-        PointwiseLayer,
+        ActivationLayer, AvgPoolLayer, Conv2dLayer, DenseLayer, GlobalPoolLayer, PointwiseLayer,
     };
     use crate::Sequential;
 

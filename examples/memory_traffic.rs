@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Roofline at FP16 with a 64-byte/cycle on-chip bus.
     println!("\nroofline at 2 B/elem, 64 B/cycle:");
-    for net in [zoo::mobilenet_v2(), zoo::mobilenet_v2().transform_all(FuSeVariant::Half)] {
+    for net in [
+        zoo::mobilenet_v2(),
+        zoo::mobilenet_v2().transform_all(FuSeVariant::Half),
+    ] {
         let report = estimate_network(&model, &net)?;
         let rl = roofline(&model, &net, &report, 2, 64)?;
         println!(

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "MobileNet-V2 on 64x64: {} Pareto-optimal operator assignments\n",
         frontier.len()
     );
-    println!("{:>12} {:>10}  assignment (per separable block)", "cycles", "params");
+    println!(
+        "{:>12} {:>10}  assignment (per separable block)",
+        "cycles", "params"
+    );
     let stride = (frontier.len() / 16).max(1);
     for point in frontier.iter().step_by(stride) {
         let asg: String = point

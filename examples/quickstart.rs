@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Where did the time go? (Fig. 8(c)'s story in two lines.)
-    println!("\nbaseline latency by operator class:\n{}", base_report.breakdown());
-    println!("fused latency by operator class:\n{}", fused_report.breakdown());
+    println!(
+        "\nbaseline latency by operator class:\n{}",
+        base_report.breakdown()
+    );
+    println!(
+        "fused latency by operator class:\n{}",
+        fused_report.breakdown()
+    );
     Ok(())
 }

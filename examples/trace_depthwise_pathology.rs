@@ -1,0 +1,83 @@
+//! The §III-B depthwise pathology, made visible: trace the same depthwise
+//! workload under the im2col single-column mapping and under the FuSe
+//! row-broadcast dataflow, and render per-PE activity heatmaps.
+//!
+//! Under im2col a depthwise channel is a `(OH·OW)×k²` patch matrix times a
+//! `k²×1` kernel — a single-column GEMM that can never occupy more than
+//! one array column. The FuSe 1-D bank instead broadcasts each kernel
+//! along an array row while lines pack across rows, lighting up both array
+//! dimensions.
+//!
+//! ```text
+//! cargo run --example trace_depthwise_pathology
+//! ```
+//!
+//! Writes `heatmap_depthwise.csv` and `heatmap_fuse.csv` (per-PE fire
+//! counts, one row per array row) next to the working directory so CI can
+//! archive them.
+
+use fuseconv::core::trace::simulate_op_traced;
+use fuseconv::latency::LatencyModel;
+use fuseconv::nn::ops::{Axis1d, Op};
+use fuseconv::systolic::ArrayConfig;
+use fuseconv::trace::UtilizationSink;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 16usize;
+    let array = ArrayConfig::square(side)?.with_broadcast(true);
+    let model = LatencyModel::new(array);
+
+    // The same layer shape both ways: a 3x3 depthwise over 16x16x16, and
+    // the row half of its FuSe replacement (a bank of 1-D row filters).
+    let depthwise = Op::depthwise(16, 16, 16, 3, 1, 1);
+    let fuse_rows = Op::fuse1d(16, 16, 16, 3, 1, 1, Axis1d::Row);
+
+    let mut dw_sink = UtilizationSink::new(side, side);
+    let dw = simulate_op_traced(&model, &depthwise, &mut dw_sink)?;
+
+    let mut fuse_sink = UtilizationSink::new(side, side);
+    let fuse = simulate_op_traced(&model, &fuse_rows, &mut fuse_sink)?;
+
+    println!("array: {array}\n");
+    println!(
+        "im2col depthwise ({}): {} cycles, active {} of {} columns, utilization {:>5.1}%",
+        depthwise,
+        dw.total_cycles(),
+        dw_sink.active_cols(),
+        side,
+        100.0 * dw_sink.utilization()
+    );
+    println!("{}", dw_sink.heatmap_ascii());
+    println!(
+        "FuSe row-broadcast ({}): {} cycles, active {} of {} rows, utilization {:>5.1}%",
+        fuse_rows,
+        fuse.total_cycles(),
+        fuse_sink.active_rows(),
+        side,
+        100.0 * fuse_sink.utilization()
+    );
+    println!("{}", fuse_sink.heatmap_ascii());
+
+    // The pathology in two numbers — these are what the paper's Fig. 5
+    // and §IV-C argue, and what CI asserts when it runs this example.
+    assert_eq!(
+        dw_sink.active_cols(),
+        1,
+        "im2col depthwise must be single-column"
+    );
+    assert_eq!(
+        fuse_sink.active_rows(),
+        side,
+        "FuSe must fill every array row"
+    );
+    assert!(fuse.total_cycles() < dw.total_cycles());
+    println!(
+        "speed-up on identical work: {:.1}x",
+        dw.total_cycles() as f64 / fuse.total_cycles() as f64
+    );
+
+    std::fs::write("heatmap_depthwise.csv", dw_sink.heatmap_csv())?;
+    std::fs::write("heatmap_fuse.csv", fuse_sink.heatmap_csv())?;
+    println!("wrote heatmap_depthwise.csv, heatmap_fuse.csv");
+    Ok(())
+}

@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let acc_a = evaluate(&mut net, &test_data)?;
     let acc_b = evaluate(&mut restored, &test_data)?;
     assert_eq!(acc_a, acc_b, "restored network must match exactly");
-    println!("restored network reproduces accuracy: {:.1}%", acc_b * 100.0);
+    println!(
+        "restored network reproduces accuracy: {:.1}%",
+        acc_b * 100.0
+    );
     Ok(())
 }

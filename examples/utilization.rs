@@ -59,13 +59,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         im2col.cycles(),
         im2col.utilization() * 100.0
     );
-    println!("  busy PEs/cycle: {}", sparkline(im2col.busy_trace(), peak, 72));
+    println!(
+        "  busy PEs/cycle: {}",
+        sparkline(im2col.busy_trace(), peak, 72)
+    );
     println!(
         "\nfuse broadcast mapping:       {} cycles, utilization {:>5.1}%",
         fuse.cycles(),
         fuse.utilization() * 100.0
     );
-    println!("  busy PEs/cycle: {}", sparkline(fuse.busy_trace(), peak, 72));
+    println!(
+        "  busy PEs/cycle: {}",
+        sparkline(fuse.busy_trace(), peak, 72)
+    );
     println!(
         "\nspeed-up on identical work: {:.1}x",
         im2col.cycles() as f64 / fuse.cycles() as f64

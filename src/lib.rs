@@ -13,6 +13,7 @@
 //! - [`latency`] — SCALE-Sim-style analytical latency model
 //! - [`hwcost`] — structural area/power model for the broadcast dataflow
 //! - [`train`] — layer-wise backprop trainer and synthetic dataset
+//! - [`trace`] — event tracing: SCALE-Sim CSVs, Chrome timelines, PE heatmaps
 
 #![warn(missing_docs)]
 
@@ -24,4 +25,5 @@ pub use fuseconv_nn as nn;
 pub use fuseconv_ria as ria;
 pub use fuseconv_systolic as systolic;
 pub use fuseconv_tensor as tensor;
+pub use fuseconv_trace as trace;
 pub use fuseconv_train as train;

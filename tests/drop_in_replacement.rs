@@ -20,7 +20,12 @@ fn all_blocks_preserve_shapes_under_transform() {
             for ((_, base), (_, repl)) in net.blocks().iter().zip(fused.blocks()) {
                 let base_out = base.ops().last().unwrap().output_shape();
                 let repl_out = repl.ops().last().unwrap().output_shape();
-                assert_eq!(base_out, repl_out, "{net}: {base} vs {repl}", net = net.name());
+                assert_eq!(
+                    base_out,
+                    repl_out,
+                    "{net}: {base} vs {repl}",
+                    net = net.name()
+                );
             }
         }
     }

@@ -154,7 +154,11 @@ fn operator_breakdown_shape() {
             }
             Variant::FuseFull => {
                 assert_eq!(frac(OpClass::Depthwise), 0.0);
-                assert!(frac(OpClass::Pointwise) > frac(OpClass::FuSe), "{}", row.network);
+                assert!(
+                    frac(OpClass::Pointwise) > frac(OpClass::FuSe),
+                    "{}",
+                    row.network
+                );
             }
             _ => unreachable!("breakdown covers baseline and full only"),
         }

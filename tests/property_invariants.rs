@@ -1,52 +1,48 @@
 //! Cross-crate property tests: invariants that must hold for *arbitrary*
-//! layer shapes and array sizes, not just the zoo networks.
+//! layer shapes and array sizes, not just the zoo networks. Shapes are
+//! drawn from the deterministic in-repo PRNG so every run checks the same
+//! reproducible sample.
 
 use fuseconv::latency::LatencyModel;
 use fuseconv::models::{Block, SeparableBlock, SpatialFilter};
 use fuseconv::nn::ops::{Axis1d, Op};
 use fuseconv::nn::FuSeVariant;
 use fuseconv::systolic::ArrayConfig;
-use proptest::prelude::*;
+use fuseconv::tensor::rng::Rng;
 
-fn arb_separable_block() -> impl Strategy<Value = SeparableBlock> {
-    (
-        4usize..64,      // in_h
-        4usize..64,      // in_w
-        1usize..32,      // in_c
-        1usize..6,       // expansion factor
-        1usize..64,      // out_c
-        prop_oneof![Just(3usize), Just(5usize), Just(7usize)],
-        1usize..3,       // stride
-        proptest::option::of(2usize..8), // se divisor
-    )
-        .prop_map(|(in_h, in_w, in_c, t, out_c, k, stride, se_div)| SeparableBlock {
-            in_h,
-            in_w,
-            in_c: in_c * 2, // keep channels even so Half is always legal
-            exp_c: in_c * 2 * t,
-            out_c,
-            k,
-            stride,
-            se_div,
-            filter: SpatialFilter::Depthwise,
-        })
+fn sample_separable_block(rng: &mut Rng) -> SeparableBlock {
+    let in_c = rng.below(31) + 1;
+    let t = rng.below(5) + 1;
+    SeparableBlock {
+        in_h: rng.below(60) + 4,
+        in_w: rng.below(60) + 4,
+        in_c: in_c * 2, // keep channels even so Half is always legal
+        exp_c: in_c * 2 * t,
+        out_c: rng.below(63) + 1,
+        k: [3, 5, 7][rng.below(3)],
+        stride: rng.below(2) + 1,
+        se_div: if rng.below(2) == 1 {
+            Some(rng.below(6) + 2)
+        } else {
+            None
+        },
+        filter: SpatialFilter::Depthwise,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Drop-in contract for arbitrary blocks: both FuSe variants preserve
-    /// the block's final output shape, and the paper's MAC formulas hold.
-    #[test]
-    fn fuse_transform_preserves_shape_for_arbitrary_blocks(
-        block in arb_separable_block()
-    ) {
+/// Drop-in contract for arbitrary blocks: both FuSe variants preserve the
+/// block's final output shape, and the paper's MAC formulas hold.
+#[test]
+fn fuse_transform_preserves_shape_for_arbitrary_blocks() {
+    let mut rng = Rng::seed_from_u64(0x626c_6f63);
+    for _ in 0..96 {
+        let block = sample_separable_block(&mut rng);
         let base = Block::Separable(block);
         let base_shape = base.ops().last().unwrap().output_shape();
         for variant in [FuSeVariant::Full, FuSeVariant::Half] {
             let fused = base.fused(variant);
             let shape = fused.ops().last().unwrap().output_shape();
-            prop_assert_eq!(base_shape, shape, "{:?}", variant);
+            assert_eq!(base_shape, shape, "{variant:?} {block:?}");
             // The spatial stage's MACs follow (2/D)·N·M·C·K.
             let fuse_macs: u64 = fused
                 .ops()
@@ -56,22 +52,26 @@ proptest! {
                 .sum();
             let (oh, ow, _) = base_shape;
             let expect = (2 * oh * ow * block.exp_c * block.k / variant.d()) as u64;
-            prop_assert_eq!(fuse_macs, expect);
+            assert_eq!(fuse_macs, expect, "{variant:?} {block:?}");
         }
     }
+}
 
-    /// Latency is monotone in array size for every operator kind: a larger
-    /// array never slows an op down.
-    #[test]
-    fn latency_monotone_in_array_size(
-        h in 2usize..40,
-        w in 2usize..40,
-        c in 1usize..48,
-        out_c in 1usize..48,
-        k in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
-        stride in 1usize..3,
-    ) {
-        prop_assume!(h + 2 * (k / 2) >= k && w + 2 * (k / 2) >= k);
+/// Latency is monotone in array size for every operator kind: a larger
+/// array never slows an op down.
+#[test]
+fn latency_monotone_in_array_size() {
+    let mut rng = Rng::seed_from_u64(0x6d6f_6e6f);
+    for _ in 0..48 {
+        let h = rng.below(38) + 2;
+        let w = rng.below(38) + 2;
+        let c = rng.below(47) + 1;
+        let out_c = rng.below(47) + 1;
+        let k = [1usize, 3, 5][rng.below(3)];
+        let stride = rng.below(2) + 1;
+        if h + 2 * (k / 2) < k || w + 2 * (k / 2) < k {
+            continue;
+        }
         let ops = [
             Op::conv2d(h, w, c, out_c, k, stride, k / 2),
             Op::depthwise(h, w, c, k, stride, k / 2),
@@ -83,11 +83,9 @@ proptest! {
         for op in ops {
             let mut prev = u64::MAX;
             for s in [4usize, 8, 16, 32, 64] {
-                let model = LatencyModel::new(
-                    ArrayConfig::square(s).unwrap().with_broadcast(true),
-                );
+                let model = LatencyModel::new(ArrayConfig::square(s).unwrap().with_broadcast(true));
                 let cycles = model.cycles(&op).unwrap();
-                prop_assert!(
+                assert!(
                     cycles <= prev,
                     "{op}: {cycles} > {prev} going from smaller to {s}x{s}"
                 );
@@ -95,20 +93,20 @@ proptest! {
             }
         }
     }
+}
 
-    /// Cycles are always at least MACs / PE-count (no op can beat the
-    /// array's peak throughput) and at least 1 cycle per fold.
-    #[test]
-    fn latency_respects_peak_throughput(
-        h in 2usize..32,
-        w in 2usize..32,
-        c in 1usize..32,
-        out_c in 1usize..32,
-        s in 2usize..64,
-    ) {
-        let model = LatencyModel::new(
-            ArrayConfig::square(s).unwrap().with_broadcast(true),
-        );
+/// Cycles are always at least MACs / PE-count (no op can beat the array's
+/// peak throughput) and at least 1 cycle per fold.
+#[test]
+fn latency_respects_peak_throughput() {
+    let mut rng = Rng::seed_from_u64(0x7065_616b);
+    for _ in 0..96 {
+        let h = rng.below(30) + 2;
+        let w = rng.below(30) + 2;
+        let c = rng.below(31) + 1;
+        let out_c = rng.below(31) + 1;
+        let s = rng.below(62) + 2;
+        let model = LatencyModel::new(ArrayConfig::square(s).unwrap().with_broadcast(true));
         let ops = [
             Op::conv2d(h, w, c, out_c, 3, 1, 1),
             Op::depthwise(h, w, c, 3, 1, 1),
@@ -118,27 +116,29 @@ proptest! {
         for op in ops {
             let cycles = model.cycles(&op).unwrap();
             let floor = op.macs().div_ceil((s * s) as u64);
-            prop_assert!(
+            assert!(
                 cycles >= floor,
                 "{op}: {cycles} cycles below peak-throughput floor {floor}"
             );
         }
     }
+}
 
-    /// MAC counts are invariant to the array (they are workload
-    /// properties), while the latency model is what varies.
-    #[test]
-    fn macs_are_array_independent(
-        h in 2usize..32,
-        c in 1usize..32,
-        out_c in 1usize..32,
-    ) {
+/// MAC counts are invariant to the array (they are workload properties),
+/// while the latency model is what varies.
+#[test]
+fn macs_are_array_independent() {
+    let mut rng = Rng::seed_from_u64(0x6d61_6373);
+    for _ in 0..96 {
+        let h = rng.below(30) + 2;
+        let c = rng.below(31) + 1;
+        let out_c = rng.below(31) + 1;
         let op = Op::conv2d(h, h, c, out_c, 3, 1, 1);
         let m1 = op.macs();
         let m2 = op.macs();
-        prop_assert_eq!(m1, m2);
+        assert_eq!(m1, m2);
         // Output shape times per-pixel work explains the count exactly.
         let (oh, ow, oc) = op.output_shape();
-        prop_assert_eq!(m1, (oh * ow * oc * 9 * c) as u64);
+        assert_eq!(m1, (oh * ow * oc * 9 * c) as u64);
     }
 }

@@ -71,8 +71,8 @@ fn depthwise_on_array_matches_functional() {
     let array = ArrayConfig::new(4, 4).unwrap();
     let (oh, ow) = (geom.out_h(), geom.out_w());
     for ch in 0..c {
-        let chan = Tensor::from_fn(&[1, h, w], |ix| input.get(&[ch, ix[1], ix[2]]).unwrap())
-            .unwrap();
+        let chan =
+            Tensor::from_fn(&[1, h, w], |ix| input.get(&[ch, ix[1], ix[2]]).unwrap()).unwrap();
         let patches = im2col(&chan, &geom).unwrap();
         let kcol = Tensor::from_fn(&[k * k, 1], |ix| {
             weight.get(&[ch, ix[0] / k, ix[0] % k]).unwrap()
@@ -149,8 +149,7 @@ fn pointwise_on_array_matches_functional() {
         input.get(&[ix[1], ix[0] / w, ix[0] % w]).unwrap()
     })
     .unwrap();
-    let filt = Tensor::from_fn(&[c_in, c_out], |ix| weight.get(&[ix[1], ix[0]]).unwrap())
-        .unwrap();
+    let filt = Tensor::from_fn(&[c_in, c_out], |ix| weight.get(&[ix[1], ix[0]]).unwrap()).unwrap();
     let array = ArrayConfig::new(6, 2).unwrap();
     let sim = gemm::simulate(&array, &pixels, &filt).unwrap();
     for o in 0..c_out {
