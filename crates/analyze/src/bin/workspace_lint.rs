@@ -1,0 +1,170 @@
+//! Workspace source-convention lint driver.
+//!
+//! Run with `cargo run -p fuseconv-analyze --bin workspace-lint`. Checks
+//! conventions the compiler does not enforce on its own:
+//!
+//! 1. every crate root carries `#![forbid(unsafe_code)]` and
+//!    `#![warn(missing_docs)]` (binaries: at least `forbid(unsafe_code)`);
+//! 2. no `.unwrap()` in simulator and latency-model non-test code — hot
+//!    loops must propagate errors, not abort;
+//! 3. no bare `as u64`/`as u32` casts in the latency accounting — cycle
+//!    arithmetic must use the checked/saturating helpers.
+//!
+//! Exits nonzero when any convention is violated, printing one line per
+//! finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The workspace root, resolved from this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Reads a source file, panicking with a clear message if it vanished
+/// mid-run (a lint driver has no caller to propagate to).
+fn read(path: &Path) -> String {
+    match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workspace-lint: cannot read {}: {e}", path.display());
+            String::new()
+        }
+    }
+}
+
+/// The portion of a source file before its `#[cfg(test)]` module.
+fn non_test_code(source: &str) -> &str {
+    match source.find("#[cfg(test)]") {
+        Some(idx) => &source[..idx],
+        None => source,
+    }
+}
+
+/// 1-indexed line number of a byte offset.
+fn line_of(source: &str, offset: usize) -> usize {
+    source[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Checks that a crate root declares the two lint attributes.
+fn check_lint_attrs(root: &Path, rel: &str, require_docs: bool, findings: &mut Vec<String>) {
+    let path = root.join(rel);
+    let source = read(&path);
+    if !source.contains("#![forbid(unsafe_code)]") {
+        findings.push(format!("{rel}: missing #![forbid(unsafe_code)]"));
+    }
+    if require_docs && !source.contains("#![warn(missing_docs)]") {
+        findings.push(format!("{rel}: missing #![warn(missing_docs)]"));
+    }
+}
+
+/// Flags every occurrence of `needle` in a file's non-test code.
+fn check_forbidden(root: &Path, rel: &str, needle: &str, why: &str, findings: &mut Vec<String>) {
+    let path = root.join(rel);
+    let source = read(&path);
+    let head = non_test_code(&source);
+    let mut from = 0;
+    while let Some(idx) = head[from..].find(needle) {
+        let at = from + idx;
+        findings.push(format!(
+            "{rel}:{}: `{}` in non-test code ({why})",
+            line_of(head, at),
+            needle.trim()
+        ));
+        from = at + needle.len();
+    }
+}
+
+/// Every `crates/*/src/lib.rs`, sorted for stable output.
+fn crate_roots(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                out.push(format!(
+                    "crates/{}/src/lib.rs",
+                    entry.file_name().to_string_lossy()
+                ));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+
+    // Rule 1: lint attributes on every crate root (and the binaries).
+    let mut roots = crate_roots(&root);
+    roots.push("src/lib.rs".to_string());
+    for rel in &roots {
+        check_lint_attrs(&root, rel, true, &mut findings);
+    }
+    check_lint_attrs(&root, "crates/cli/src/main.rs", true, &mut findings);
+    check_lint_attrs(
+        &root,
+        "crates/analyze/src/bin/workspace_lint.rs",
+        false,
+        &mut findings,
+    );
+
+    // Rule 2: no `.unwrap()` in simulator / latency-model non-test code.
+    for dir in ["crates/systolic/src", "crates/latency/src"] {
+        let mut files: Vec<_> = fs::read_dir(root.join(dir))
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        for path in files {
+            let rel = format!(
+                "{dir}/{}",
+                path.file_name().unwrap_or_default().to_string_lossy()
+            );
+            check_forbidden(
+                &root,
+                &rel,
+                ".unwrap()",
+                "propagate errors in simulator hot paths",
+                &mut findings,
+            );
+        }
+    }
+
+    // Rule 3: no bare widening casts in the latency accounting.
+    for rel in ["crates/latency/src/map.rs", "crates/latency/src/plan.rs"] {
+        for needle in [" as u64", " as u32"] {
+            check_forbidden(
+                &root,
+                rel,
+                needle,
+                "use the checked/saturating conversion helpers",
+                &mut findings,
+            );
+        }
+    }
+
+    if findings.is_empty() {
+        println!(
+            "workspace-lint: {} crate roots and the latency/simulator sources are clean",
+            roots.len() + 1
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("workspace-lint: {f}");
+        }
+        println!("workspace-lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

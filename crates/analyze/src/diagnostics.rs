@@ -1,0 +1,358 @@
+//! Structured diagnostics: rule identifiers, severities and reports.
+//!
+//! Every check the analyzer runs is identified by a stable [`RuleId`] so
+//! CI, tests and humans can match on findings without parsing prose. A
+//! [`Diagnostic`] carries the rule, a severity, the offending dependence
+//! vector when one exists, and a suggested fix; a [`Report`] aggregates
+//! diagnostics and renders them as text or JSON (hand-rolled — the
+//! workspace carries no serde).
+
+use std::fmt;
+
+/// Stable identifier of one analyzer rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum RuleId {
+    /// A variable is assigned by more than one recurrence (§II's single
+    /// assignment condition).
+    Ria001MultipleAssignment,
+    /// A term's index offset is not a constant vector (§II's constant
+    /// offset condition — the direct-convolution pathology of §III-A).
+    Ria002NonConstantOffset,
+    /// A term's index rank disagrees with its recurrence's iteration rank.
+    Ria003RankMismatch,
+    /// The linear schedule violates a dependence: `τ·d < 1`.
+    Sch001ScheduleViolatesDependence,
+    /// A dependence's space projection spans more than one PE hop.
+    Loc001NonLocalProjection,
+    /// A dependence needs the per-row weight-broadcast link (§IV-C-1) and
+    /// the array does not provide it.
+    Loc002BroadcastLinkRequired,
+    /// The operator's cycle accounting overflows `u64`.
+    Res001CycleArithmeticOverflow,
+    /// The operator has zero-sized (degenerate) dimensions.
+    Res002DegenerateOp,
+    /// An operand footprint exceeds the 32-bit SRAM element address space
+    /// assumed by the trace sinks.
+    Res003SramAddressOverflow,
+    /// The operator lowers to a single-column GEMM: at most one array
+    /// column is ever busy, bounding utilization by `1/W` (§III-B,
+    /// Fig. 1(d)).
+    Utl001SingleColumnGemm,
+    /// The operator lowers to a single-row GEMM: at most one array row is
+    /// ever busy, bounding utilization by `1/H`.
+    Utl002SingleRowGemm,
+}
+
+impl RuleId {
+    /// The rule's stable short code (e.g. `"SCH001"`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuleId::Ria001MultipleAssignment => "RIA001",
+            RuleId::Ria002NonConstantOffset => "RIA002",
+            RuleId::Ria003RankMismatch => "RIA003",
+            RuleId::Sch001ScheduleViolatesDependence => "SCH001",
+            RuleId::Loc001NonLocalProjection => "LOC001",
+            RuleId::Loc002BroadcastLinkRequired => "LOC002",
+            RuleId::Res001CycleArithmeticOverflow => "RES001",
+            RuleId::Res002DegenerateOp => "RES002",
+            RuleId::Res003SramAddressOverflow => "RES003",
+            RuleId::Utl001SingleColumnGemm => "UTL001",
+            RuleId::Utl002SingleRowGemm => "UTL002",
+        }
+    }
+
+    /// One-line description of what the rule checks.
+    pub fn description(&self) -> &'static str {
+        match self {
+            RuleId::Ria001MultipleAssignment => {
+                "single assignment: each variable defined by exactly one recurrence"
+            }
+            RuleId::Ria002NonConstantOffset => {
+                "regular iterative algorithm: every index offset is constant"
+            }
+            RuleId::Ria003RankMismatch => {
+                "every term indexes the full iteration vector of its recurrence"
+            }
+            RuleId::Sch001ScheduleViolatesDependence => {
+                "schedule legality: tau . d >= 1 for every dependence vector d"
+            }
+            RuleId::Loc001NonLocalProjection => {
+                "locality: space-projected dependences reach nearest-neighbour PEs only"
+            }
+            RuleId::Loc002BroadcastLinkRequired => {
+                "broadcast-served dependences need the per-row weight-broadcast link"
+            }
+            RuleId::Res001CycleArithmeticOverflow => {
+                "cycle accounting must fit u64 (checked arithmetic)"
+            }
+            RuleId::Res002DegenerateOp => "operators must have nonzero dimensions",
+            RuleId::Res003SramAddressOverflow => {
+                "operand footprints must fit the 32-bit SRAM element address space"
+            }
+            RuleId::Utl001SingleColumnGemm => {
+                "single-column GEMM lowering bounds array utilization by 1/W"
+            }
+            RuleId::Utl002SingleRowGemm => {
+                "single-row GEMM lowering bounds array utilization by 1/H"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, nothing to fix.
+    Info,
+    /// Suspicious but legal — e.g. a mapping that runs correctly at `1/W`
+    /// utilization.
+    Warning,
+    /// Illegal: the mapping or operator cannot run as described.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The violated (or triggered) rule.
+    pub rule: RuleId,
+    /// Finding severity.
+    pub severity: Severity,
+    /// What the analyzer is looking at (a dataflow name, or
+    /// `network/block/op` for operator findings).
+    pub context: String,
+    /// Human-readable statement of the finding.
+    pub message: String,
+    /// The offending dependence vector, when the rule concerns one.
+    pub dependence: Option<Vec<i64>>,
+    /// Suggested fix.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// Serializes the diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        let dep = match &self.dependence {
+            Some(d) => {
+                let parts: Vec<String> = d.iter().map(i64::to_string).collect();
+                format!("[{}]", parts.join(","))
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"context\":\"{}\",\
+             \"message\":\"{}\",\"dependence\":{},\"suggestion\":\"{}\"}}",
+            self.rule,
+            self.severity,
+            json_escape(&self.context),
+            json_escape(&self.message),
+            dep,
+            json_escape(&self.suggestion),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.rule, self.context, self.message
+        )?;
+        if let Some(d) = &self.dependence {
+            write!(f, " (dependence {d:?})")?;
+        }
+        if !self.suggestion.is_empty() {
+            write!(f, " — fix: {}", self.suggestion)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics with rendering helpers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The findings, in the order they were produced.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Whether any finding has error severity.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Findings matching a rule.
+    pub fn with_rule(&self, rule: RuleId) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Renders the report as human-readable text, one finding per line,
+    /// with a trailing summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} finding(s) total\n",
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            self.error_count(),
+            self.warning_count(),
+            items.join(",")
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: RuleId::Sch001ScheduleViolatesDependence,
+            severity: Severity::Error,
+            context: "output-stationary GEMM".into(),
+            message: "tau = [1, 1, -1] gives tau.d = -1".into(),
+            dependence: Some(vec![0, 0, 1]),
+            suggestion: "use a schedule with tau.d >= 1".into(),
+        }
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(RuleId::Ria001MultipleAssignment.code(), "RIA001");
+        assert_eq!(RuleId::Sch001ScheduleViolatesDependence.code(), "SCH001");
+        assert_eq!(RuleId::Utl001SingleColumnGemm.code(), "UTL001");
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = Report::new();
+        r.push(sample());
+        let mut warn = sample();
+        warn.severity = Severity::Warning;
+        warn.rule = RuleId::Utl001SingleColumnGemm;
+        r.push(warn);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert_eq!(r.with_rule(RuleId::Utl001SingleColumnGemm).len(), 1);
+    }
+
+    #[test]
+    fn text_rendering_mentions_rule_and_fix() {
+        let mut r = Report::new();
+        r.push(sample());
+        let text = r.to_text();
+        assert!(text.contains("SCH001"), "{text}");
+        assert!(text.contains("fix:"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut r = Report::new();
+        r.push(sample());
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"SCH001\""), "{json}");
+        assert!(json.contains("\"dependence\":[0,0,1]"), "{json}");
+        // Balanced braces/brackets (a cheap well-formedness proxy given
+        // the workspace has no JSON parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut d = sample();
+        d.message = "say \"hi\"".into();
+        assert!(d.to_json().contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,44 @@
+//! Static dataflow-legality analyzer for the FuSeConv reproduction.
+//!
+//! Before a single cycle is simulated, this crate verifies — for each
+//! simulator dataflow (output-/weight-/input-stationary GEMM and the
+//! row-broadcast conv1d of §IV-C) and each array × operator shape — that
+//! the induced recurrence system and space–time mapping are sound:
+//!
+//! 1. **RIA well-formedness** (RIA001–RIA003): single assignment and
+//!    constant index offsets, §II's conditions for mapping an algorithm
+//!    onto a systolic array at all.
+//! 2. **Schedule legality** (SCH001): `τ·d ≥ 1` for every dependence
+//!    vector, so every consumer runs strictly after its producer.
+//! 3. **Locality** (LOC001/LOC002): space-projected dependences reach
+//!    nearest-neighbour PEs only, or ride the paper's per-row
+//!    weight-broadcast link when the array provides one.
+//! 4. **Resource sanity** (RES001–RES003): cycle accounting fits `u64`,
+//!    no degenerate shapes, operand footprints fit SRAM addressing.
+//! 5. **Utilization** (UTL001/UTL002): degenerate single-column /
+//!    single-row GEMM lowerings are reported with their static
+//!    utilization bound — the Fig. 1(c)–(d) argument for why im2col
+//!    depthwise wastes a systolic array while FuSe fills it.
+//!
+//! Findings are structured [`Diagnostic`]s (stable rule ID, severity,
+//! offending dependence vector, suggested fix) aggregated into
+//! [`Report`]s that render as text or JSON. The `fuseconv analyze` CLI
+//! subcommand audits every zoo network with these rules; the
+//! `workspace-lint` binary in this crate additionally enforces source
+//! conventions across the workspace.
+//!
+//! The mapping-level verdicts themselves live in
+//! [`fuseconv_systolic::legality`] so the simulators can gate their own
+//! entry points without a dependency cycle; this crate wraps them into
+//! the diagnostic vocabulary and adds the operator/network rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod mapping;
+pub mod ops;
+
+pub use diagnostics::{Diagnostic, Report, RuleId, Severity};
+pub use mapping::{analyze_dataflows, analyze_mapping};
+pub use ops::{analyze_network, analyze_op, gemm_dataflow_kind};

@@ -1,0 +1,321 @@
+//! Operator- and network-level analysis: resource/bounds sanity and the
+//! paper's utilization argument, evaluated statically.
+//!
+//! For each operator the analyzer derives the GEMM (or packed conv1d)
+//! lowering the latency model would use and checks, without simulating a
+//! cycle:
+//!
+//! * **RES001** — the cycle accounting fits `u64` (checked arithmetic);
+//! * **RES002** — no zero-sized dimensions;
+//! * **RES003** — operand footprints fit the 32-bit SRAM element address
+//!   space the trace sinks assume;
+//! * **UTL001/UTL002** — degenerate GEMM lowerings. A depthwise layer
+//!   lowers to per-channel `M×K²·K²×1` GEMMs: a single array column is
+//!   ever busy, so utilization is statically bounded by `1/W` — the
+//!   Fig. 1(d) argument, reported here as a warning while the FuSe
+//!   row-broadcast lowering of the same work passes clean.
+
+use crate::diagnostics::{Diagnostic, Report, RuleId, Severity};
+use crate::mapping::analyze_mapping;
+use fuseconv_latency::{Dataflow, LatencyError, LatencyModel};
+use fuseconv_models::Network;
+use fuseconv_nn::ops::Op;
+use fuseconv_systolic::legality::{canonical_mapping, DataflowKind};
+
+/// SRAM element address space assumed by the trace sinks (32-bit).
+const SRAM_ADDRESS_SPACE: u64 = 1 << 32;
+
+/// The legality-mapping kind a model's GEMM-lowered operators execute on.
+pub fn gemm_dataflow_kind(model: &LatencyModel) -> DataflowKind {
+    match model.dataflow() {
+        Dataflow::OutputStationary => DataflowKind::OutputStationary,
+        Dataflow::WeightStationary => DataflowKind::WeightStationary,
+        Dataflow::InputStationary => DataflowKind::InputStationary,
+    }
+}
+
+/// The GEMM dimensions `(M, K, N)` an operator lowers to, or `None` for
+/// the FuSe 1-D operators (which use the packed row-broadcast mapping,
+/// not a GEMM).
+fn gemm_lowering(model: &LatencyModel, op: &Op) -> Option<(u64, u64, u64)> {
+    let (oh, ow, _) = op.output_shape();
+    let m = |x: usize, y: usize| (x as u64).saturating_mul(y as u64);
+    let spatial = m(oh, ow).saturating_mul(model.batch() as u64);
+    match *op {
+        Op::Conv2d { in_c, out_c, k, .. } => {
+            Some((spatial, m(k, k).saturating_mul(in_c as u64), out_c as u64))
+        }
+        Op::Depthwise { k, .. } => Some((spatial, m(k, k), 1)),
+        Op::Pointwise { in_c, out_c, .. } => Some((spatial, in_c as u64, out_c as u64)),
+        Op::FuSe1d { .. } => None,
+        Op::Fc {
+            in_features,
+            out_features,
+        } => Some((1, in_features as u64, out_features as u64)),
+    }
+}
+
+/// Total elements of the operator's input, weight and output operands
+/// (saturating — anything that saturates certainly exceeds the SRAM
+/// space).
+fn operand_footprints(model: &LatencyModel, op: &Op) -> [(&'static str, u64); 3] {
+    let (oh, ow, out_c) = op.output_shape();
+    let m = |x: usize, y: usize| (x as u64).saturating_mul(y as u64);
+    let batch = model.batch() as u64;
+    let (in_elems, out_elems) = match *op {
+        Op::Conv2d {
+            in_h, in_w, in_c, ..
+        }
+        | Op::Pointwise {
+            in_h, in_w, in_c, ..
+        } => (m(in_h, in_w).saturating_mul(in_c as u64), m(oh, ow)),
+        Op::Depthwise { in_h, in_w, c, .. } | Op::FuSe1d { in_h, in_w, c, .. } => {
+            (m(in_h, in_w).saturating_mul(c as u64), m(oh, ow))
+        }
+        Op::Fc { in_features, .. } => (in_features as u64, 1),
+    };
+    [
+        ("input", in_elems.saturating_mul(batch)),
+        ("weights", op.params()),
+        (
+            "output",
+            out_elems.saturating_mul(out_c as u64).saturating_mul(batch),
+        ),
+    ]
+}
+
+/// Analyzes one operator under one latency model, returning every
+/// finding. `context` labels the findings (e.g. `network/block/op`).
+pub fn analyze_op(model: &LatencyModel, op: &Op, context: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cols = model.array().cols();
+    let rows = model.array().rows();
+
+    // Resource sanity: run the checked accounting and convert its errors.
+    match model.cycles(op) {
+        Ok(_) => {}
+        Err(LatencyError::ArithmeticOverflow { .. }) => out.push(Diagnostic {
+            rule: RuleId::Res001CycleArithmeticOverflow,
+            severity: Severity::Error,
+            context: context.to_string(),
+            message: format!("cycle count of `{op}` overflows u64"),
+            dependence: None,
+            suggestion: "tile or split the operator; shapes this large cannot be \
+                         scheduled in one pass"
+                .into(),
+        }),
+        Err(LatencyError::DegenerateOp { .. }) => out.push(Diagnostic {
+            rule: RuleId::Res002DegenerateOp,
+            severity: Severity::Error,
+            context: context.to_string(),
+            message: format!("`{op}` has zero-sized dimensions"),
+            dependence: None,
+            suggestion: "remove the operator or fix its shape".into(),
+        }),
+        Err(LatencyError::BroadcastRequired { .. }) => out.push(Diagnostic {
+            rule: RuleId::Loc002BroadcastLinkRequired,
+            severity: Severity::Error,
+            context: context.to_string(),
+            message: format!(
+                "`{op}` uses the row-broadcast dataflow but the array has no \
+                 broadcast links"
+            ),
+            dependence: None,
+            suggestion: "configure the array with ArrayConfig::with_broadcast(true)".into(),
+        }),
+        // `LatencyError` is non_exhaustive; report unknown errors rather
+        // than dropping them.
+        Err(other) => out.push(Diagnostic {
+            rule: RuleId::Res002DegenerateOp,
+            severity: Severity::Error,
+            context: context.to_string(),
+            message: format!("latency model rejected `{op}`: {other}"),
+            dependence: None,
+            suggestion: String::new(),
+        }),
+    }
+
+    // SRAM footprint sanity.
+    for (what, elems) in operand_footprints(model, op) {
+        if elems >= SRAM_ADDRESS_SPACE {
+            out.push(Diagnostic {
+                rule: RuleId::Res003SramAddressOverflow,
+                severity: Severity::Warning,
+                context: context.to_string(),
+                message: format!(
+                    "{what} operand of `{op}` holds {elems} elements, exceeding \
+                     the 32-bit SRAM element address space"
+                ),
+                dependence: None,
+                suggestion: "tile the operator so each operand fits on-chip \
+                             addressing"
+                    .into(),
+            });
+        }
+    }
+
+    // Utilization: the paper's degenerate-GEMM argument (§III-B).
+    if let Some((m, _k, n)) = gemm_lowering(model, op) {
+        if n == 1 && cols > 1 {
+            let (severity, detail, suggestion) = if matches!(op, Op::Depthwise { .. }) {
+                (
+                    Severity::Warning,
+                    "the im2col depthwise lowering is legal but degenerate: every \
+                     channel is an M×K²·K²×1 GEMM, so exactly one array column is \
+                     busy (Fig. 1(d))",
+                    "replace the depthwise filter with FuSe row/column banks \
+                     (Network::transform_all), whose row-broadcast mapping fills \
+                     every row",
+                )
+            } else {
+                (
+                    Severity::Warning,
+                    "the operator lowers to a single-column GEMM: one array column \
+                     is ever busy",
+                    "widen the output dimension or batch several such operators \
+                     side by side",
+                )
+            };
+            out.push(Diagnostic {
+                rule: RuleId::Utl001SingleColumnGemm,
+                severity,
+                context: context.to_string(),
+                message: format!(
+                    "`{op}`: {detail}; utilization statically bounded by 1/{cols} \
+                     ≈ {:.4}",
+                    1.0 / cols as f64
+                ),
+                dependence: None,
+                suggestion: suggestion.into(),
+            });
+        }
+        if m == 1 && rows > 1 {
+            out.push(Diagnostic {
+                rule: RuleId::Utl002SingleRowGemm,
+                severity: Severity::Info,
+                context: context.to_string(),
+                message: format!(
+                    "`{op}` lowers to a single-row GEMM; utilization statically \
+                     bounded by 1/{rows} ≈ {:.4}",
+                    1.0 / rows as f64
+                ),
+                dependence: None,
+                suggestion: "batch inferences to fill the array rows".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Audits a whole network: the legality of every dataflow mapping its
+/// operators use, then the per-operator resource and utilization rules.
+pub fn analyze_network(model: &LatencyModel, net: &Network) -> Report {
+    let mut report = Report::new();
+    let ops = net.ops();
+
+    // Mapping legality, once per dataflow the network actually uses.
+    let mut kinds = vec![gemm_dataflow_kind(model)];
+    if ops.iter().any(|n| matches!(n.op, Op::FuSe1d { .. })) {
+        kinds.push(DataflowKind::RowBroadcast);
+    }
+    for kind in kinds {
+        for d in analyze_mapping(&canonical_mapping(kind), model.array()) {
+            report.push(d);
+        }
+    }
+
+    // Operator rules.
+    let label = format!("{}[{}]", net.name(), net.variant_label());
+    for named in &ops {
+        let context = format!("{label}/{}/{}", named.block_name, named.op);
+        for d in analyze_op(model, &named.op, &context) {
+            report.push(d);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_nn::ops::Axis1d;
+    use fuseconv_nn::FuSeVariant;
+    use fuseconv_systolic::ArrayConfig;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(ArrayConfig::square(64).unwrap().with_broadcast(true))
+    }
+
+    #[test]
+    fn depthwise_is_flagged_with_utilization_bound() {
+        let op = Op::depthwise(56, 56, 64, 3, 1, 1);
+        let diags = analyze_op(&model(), &op, "test");
+        let utl: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::Utl001SingleColumnGemm)
+            .collect();
+        assert_eq!(utl.len(), 1);
+        assert_eq!(utl[0].severity, Severity::Warning);
+        assert!(utl[0].message.contains("1/64"), "{}", utl[0].message);
+        assert!(diags.iter().all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn fuse_passes_clean() {
+        let op = Op::fuse1d(56, 56, 32, 3, 1, 1, Axis1d::Row);
+        let diags = analyze_op(&model(), &op, "test");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn fc_is_single_row_info() {
+        let op = Op::fc(1024, 1000);
+        let diags = analyze_op(&model(), &op, "test");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::Utl002SingleRowGemm);
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn fuse_without_broadcast_is_loc002_error() {
+        let plain = LatencyModel::new(ArrayConfig::square(64).unwrap());
+        let op = Op::fuse1d(56, 56, 32, 3, 1, 1, Axis1d::Row);
+        let diags = analyze_op(&plain, &op, "test");
+        assert!(diags.iter().any(
+            |d| d.rule == RuleId::Loc002BroadcastLinkRequired && d.severity == Severity::Error
+        ));
+    }
+
+    #[test]
+    fn huge_op_is_res001_error() {
+        let big = 3_000_000_000usize;
+        let op = Op::pointwise(big, big, 4_000_000_000, 4_000_000_000);
+        let diags = analyze_op(&model(), &op, "test");
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == RuleId::Res001CycleArithmeticOverflow
+                && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn oversized_footprint_is_res003_warning() {
+        let op = Op::pointwise(70_000, 70_000, 1024, 1024);
+        let diags = analyze_op(&model(), &op, "test");
+        assert!(diags.iter().any(
+            |d| d.rule == RuleId::Res003SramAddressOverflow && d.severity == Severity::Warning
+        ));
+    }
+
+    #[test]
+    fn network_audit_flags_depthwise_but_not_fuse() {
+        let net = fuseconv_models::zoo::mobilenet_v1();
+        let report = analyze_network(&model(), &net);
+        assert!(!report.has_errors(), "{}", report.to_text());
+        assert!(!report.with_rule(RuleId::Utl001SingleColumnGemm).is_empty());
+
+        let fused = net.transform_all(FuSeVariant::Full);
+        let report = analyze_network(&model(), &fused);
+        assert!(!report.has_errors(), "{}", report.to_text());
+        assert!(report.with_rule(RuleId::Utl001SingleColumnGemm).is_empty());
+    }
+}

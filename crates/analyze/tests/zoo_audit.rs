@@ -1,0 +1,97 @@
+//! Cross-checks the full model zoo against the static analyzer: every
+//! shipped network, in every FuSe variant, must audit with zero
+//! error-severity findings on the paper's 64×64 broadcast array — and the
+//! Fig. 1(c)–(d) asymmetry must hold: baselines with depthwise layers are
+//! flagged UTL001 (single-column GEMM, utilization ≤ 1/W) while their
+//! FuSe-transformed counterparts pass with no utilization warnings.
+
+use fuseconv_analyze::{analyze_network, RuleId};
+use fuseconv_latency::LatencyModel;
+use fuseconv_models::zoo;
+use fuseconv_nn::{FuSeVariant, Op};
+use fuseconv_systolic::ArrayConfig;
+
+fn paper_model() -> LatencyModel {
+    LatencyModel::new(
+        ArrayConfig::square(64)
+            .expect("64 is nonzero")
+            .with_broadcast(true),
+    )
+}
+
+#[test]
+fn every_zoo_network_audits_with_zero_errors() {
+    let model = paper_model();
+    let mut nets = zoo::all_baselines();
+    nets.push(zoo::resnet50());
+    nets.push(zoo::efficientnet_b0());
+    for net in &nets {
+        for variant in [None, Some(FuSeVariant::Full), Some(FuSeVariant::Half)] {
+            let v = match variant {
+                None => net.clone(),
+                Some(var) => net.transform_all(var),
+            };
+            let report = analyze_network(&model, &v);
+            assert!(
+                !report.has_errors(),
+                "{} [{}] has error findings:\n{}",
+                v.name(),
+                v.variant_label(),
+                report.to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn depthwise_baselines_are_flagged_utl001() {
+    let model = paper_model();
+    let mut nets = zoo::all_baselines();
+    nets.push(zoo::efficientnet_b0());
+    for net in &nets {
+        let depthwise = net
+            .ops()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Depthwise { .. }))
+            .count();
+        let report = analyze_network(&model, net);
+        let flagged = report.with_rule(RuleId::Utl001SingleColumnGemm).len();
+        assert_eq!(
+            flagged,
+            depthwise,
+            "{}: every depthwise layer (and nothing else) should be UTL001\n{}",
+            net.name(),
+            report.to_text()
+        );
+        assert!(
+            depthwise > 0,
+            "{} should contain depthwise layers",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn fuse_transformed_networks_carry_no_utilization_warnings() {
+    let model = paper_model();
+    for net in zoo::all_baselines() {
+        for var in [FuSeVariant::Full, FuSeVariant::Half] {
+            let fused = net.transform_all(var);
+            let report = analyze_network(&model, &fused);
+            assert!(
+                report.with_rule(RuleId::Utl001SingleColumnGemm).is_empty(),
+                "{} [{}]:\n{}",
+                fused.name(),
+                fused.variant_label(),
+                report.to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn resnet_has_no_depthwise_and_no_utl001() {
+    let report = analyze_network(&paper_model(), &zoo::resnet50());
+    assert!(report.with_rule(RuleId::Utl001SingleColumnGemm).is_empty());
+    assert!(!report.has_errors());
+}

@@ -5,6 +5,7 @@
 //! computation that produced it with the offline [`micro`] harness. The
 //! experiment ↔ bench mapping is indexed in `DESIGN.md` (E1–E10).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod micro;

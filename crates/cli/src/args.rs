@@ -3,6 +3,9 @@
 
 use std::fmt;
 
+/// Flags that take no value: `--name` alone means `--name true`.
+const SWITCHES: &[&str] = &["all"];
+
 /// A parsed command line: the subcommand and its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParsedArgs {
@@ -47,6 +50,8 @@ impl ParsedArgs {
             if let Some(name) = arg.strip_prefix("--") {
                 if let Some((key, value)) = name.split_once('=') {
                     parsed.flags.push((key.to_string(), value.to_string()));
+                } else if SWITCHES.contains(&name) {
+                    parsed.flags.push((name.to_string(), "true".to_string()));
                 } else {
                     let value = iter
                         .next()
@@ -149,6 +154,13 @@ mod tests {
         assert_eq!(p.f64_flag("mhz", 700.0).unwrap(), 700.0);
         let p = parse(&["scaling", "--sizes", "8, 16,32"]).unwrap();
         assert_eq!(p.usize_list_flag("sizes", &[64]).unwrap(), vec![8, 16, 32]);
+    }
+
+    #[test]
+    fn switches_need_no_value() {
+        let p = parse(&["analyze", "--all", "--format", "json"]).unwrap();
+        assert_eq!(p.flag("all"), Some("true"));
+        assert_eq!(p.flag("format"), Some("json"));
     }
 
     #[test]

@@ -12,12 +12,18 @@
 //! fuseconv reports   [--dir reports] [--array 64]
 //! fuseconv trace     [--network MobileNet-V2] [--variant baseline|full|half]
 //!                    [--layer N] [--format scalesim|chrome|heatmap] [--out trace.json]
+//! fuseconv analyze   [--all | --network NAME] [--variant baseline|full|half]
+//!                    [--array 64] [--format text|json] [--out PATH]
 //! fuseconv help
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod args;
 
 use args::ParsedArgs;
+use fuseconv_analyze as analyze;
 use fuseconv_core::experiments;
 use fuseconv_core::nos;
 use fuseconv_core::report;
@@ -52,6 +58,10 @@ COMMANDS:
                        prints ASCII art, writes CSV
              scalesim: SCALE-Sim-style SRAM read/write traces of one layer
                        (--layer); writes <out>_{ifmap_read,filter_read,ofmap_write}.csv
+  analyze    static dataflow-legality audit: verify RIA well-formedness, schedule
+             legality (tau.d >= 1), locality and resource/utilization rules before
+             any simulation   [--all | --network NAME] [--variant baseline|full|half]
+             [--format text|json] [--out PATH]; exits nonzero on error findings
   help       this text
 
 Common flag: --array N (square array side, default 64).";
@@ -293,6 +303,63 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
                 )),
             }
         }
+        "analyze" => {
+            let array = array_of(parsed)?;
+            let model = LatencyModel::new(array);
+            let nets: Vec<Network> = if parsed.flag("all").is_some() {
+                zoo::all_baselines()
+                    .into_iter()
+                    .chain([zoo::resnet50(), zoo::efficientnet_b0()])
+                    .collect()
+            } else {
+                let name = parsed.flag("network").unwrap_or("MobileNet-V2");
+                vec![find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?]
+            };
+            let variants: Vec<Variant> = match parsed.flag("variant") {
+                None => Variant::ALL.to_vec(),
+                Some("baseline") => vec![Variant::Baseline],
+                Some("full") => vec![Variant::FuseFull],
+                Some("half") => vec![Variant::FuseHalf],
+                Some(other) => {
+                    return Err(format!(
+                        "--variant must be baseline, full or half, got `{other}`"
+                    ))
+                }
+            };
+            let mut report = analyze::Report::new();
+            for net in &nets {
+                for &variant in &variants {
+                    let v = apply_variant(net, variant, &array).map_err(|e| e.to_string())?;
+                    for d in analyze::analyze_network(&model, &v).diagnostics {
+                        // Mapping-level findings repeat identically across
+                        // networks sharing a dataflow; keep one copy each.
+                        if !report.diagnostics.contains(&d) {
+                            report.push(d);
+                        }
+                    }
+                }
+            }
+            let rendered = match parsed.flag("format").unwrap_or("text") {
+                "text" => report.to_text(),
+                "json" => report.to_json(),
+                other => return Err(format!("--format must be text or json, got `{other}`")),
+            };
+            match parsed.flag("out") {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("{path}");
+                }
+                None => println!("{}", rendered.trim_end()),
+            }
+            if report.has_errors() {
+                return Err(format!(
+                    "{} error-severity diagnostic(s)",
+                    report.error_count()
+                ));
+            }
+            Ok(())
+        }
         "reports" => {
             let array = array_of(parsed)?;
             let dir = parsed.flag("dir").unwrap_or("reports");
@@ -401,6 +468,53 @@ mod tests {
             "trace", "--format", "heatmap", "--layer", "99999", "--array", "8"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn analyze_validates_inputs() {
+        assert!(run(&parsed(&["analyze", "--network", "nope"])).is_err());
+        assert!(run(&parsed(&["analyze", "--variant", "quarter"])).is_err());
+        assert!(run(&parsed(&["analyze", "--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn analyze_passes_shipped_networks() {
+        // Warnings (the depthwise UTL001 pathology) must not fail the run;
+        // only error-severity findings do.
+        assert!(run(&parsed(&[
+            "analyze",
+            "--network",
+            "mobilenet-v1",
+            "--array",
+            "8"
+        ]))
+        .is_ok());
+        assert!(run(&parsed(&["analyze", "--all", "--array", "8"])).is_ok());
+    }
+
+    #[test]
+    fn analyze_writes_json_report() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.json");
+        let out = out.to_str().unwrap();
+        assert!(run(&parsed(&[
+            "analyze",
+            "--network",
+            "mobilenet-v2",
+            "--array",
+            "8",
+            "--format",
+            "json",
+            "--out",
+            out
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"diagnostics\""), "{text}");
+        assert!(text.contains("UTL001"), "{text}");
+        std::fs::remove_file(out).unwrap();
     }
 
     #[test]

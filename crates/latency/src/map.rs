@@ -1,7 +1,7 @@
 //! Lowering of operator descriptors to array cycle counts.
 
 use fuseconv_nn::ops::{Axis1d, Op};
-use fuseconv_systolic::{conv1d, gemm, is_gemm, ws_gemm, ArrayConfig};
+use fuseconv_systolic::ArrayConfig;
 use std::error::Error;
 use std::fmt;
 
@@ -20,6 +20,13 @@ pub enum LatencyError {
         /// The offending operator, pretty-printed.
         op: String,
     },
+    /// The operator's cycle count does not fit in `u64`. All fold
+    /// accounting uses checked arithmetic, so absurdly large shapes are
+    /// reported instead of silently wrapping.
+    ArithmeticOverflow {
+        /// The offending operator, pretty-printed.
+        op: String,
+    },
 }
 
 impl fmt::Display for LatencyError {
@@ -31,6 +38,9 @@ impl fmt::Display for LatencyError {
             ),
             LatencyError::DegenerateOp { op } => {
                 write!(f, "operator `{op}` has zero-sized dimensions")
+            }
+            LatencyError::ArithmeticOverflow { op } => {
+                write!(f, "cycle count of operator `{op}` overflows u64")
             }
         }
     }
@@ -162,90 +172,102 @@ impl LatencyModel {
     }
 
     /// GEMM cycles under the configured dataflow and overlap mode.
-    fn gemm_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+    ///
+    /// Closed-form over tile classes (full tiles + remainder), all in
+    /// checked `u64` arithmetic: equals the fold-by-fold loop accounting
+    /// of the cycle simulators exactly, but costs O(1) and returns `None`
+    /// instead of wrapping when the total exceeds `u64`.
+    fn gemm_cycles(&self, m: u64, k: u64, n: u64) -> Option<u64> {
+        let (rows, cols) = (c64(self.array.rows()), c64(self.array.cols()));
         match (self.dataflow, self.overlap) {
+            // Serial folds pay the full fold_cycles of each simulator.
             (Dataflow::OutputStationary, FoldOverlap::Serial) => {
-                gemm::analytic_cycles(&self.array, m, k, n)
+                sum_folds(m, rows, n, cols, |ru, cu| {
+                    // 2·ru + cu + k − 2
+                    ru.checked_mul(2)?
+                        .checked_add(cu)?
+                        .checked_add(k)?
+                        .checked_sub(2)
+                })
             }
             (Dataflow::WeightStationary, FoldOverlap::Serial) => {
-                ws_gemm::analytic_cycles(&self.array, m, k, n)
+                sum_folds(k, rows, n, cols, |ru, cu| {
+                    // ru + (m + ru + cu − 2)
+                    ru.checked_mul(2)?
+                        .checked_add(cu)?
+                        .checked_add(m)?
+                        .checked_sub(2)
+                })
             }
             (Dataflow::InputStationary, FoldOverlap::Serial) => {
-                is_gemm::analytic_cycles(&self.array, m, k, n)
-            }
-            (Dataflow::InputStationary, FoldOverlap::DoubleBuffered) => {
-                // Mirror of the weight-stationary treatment: the next
-                // tile's input preload overlaps the current drain.
-                let mut total = self.array.cols().min(k) as u64;
-                for m0 in (0..m).step_by(self.array.rows()) {
-                    let ru = self.array.rows().min(m - m0);
-                    for k0 in (0..k).step_by(self.array.cols()) {
-                        let cu = self.array.cols().min(k - k0);
-                        total += (n + ru + cu - 2) as u64;
-                    }
-                }
-                total
+                sum_folds(m, rows, k, cols, |ru, cu| {
+                    // cu + (n + ru + cu − 2)
+                    cu.checked_mul(2)?
+                        .checked_add(ru)?
+                        .checked_add(n)?
+                        .checked_sub(2)
+                })
             }
             (Dataflow::OutputStationary, FoldOverlap::DoubleBuffered) => {
                 // Each fold pays fill + compute (ru + cu + k − 2); drains
                 // overlap the next fold's fill, except the final one.
-                let mut total = 0u64;
-                let mut last_ru = 0u64;
-                for row0 in (0..m).step_by(self.array.rows()) {
-                    let ru = self.array.rows().min(m - row0);
-                    for col0 in (0..n).step_by(self.array.cols()) {
-                        let cu = self.array.cols().min(n - col0);
-                        total += (ru + cu + k - 2) as u64;
-                        last_ru = ru as u64;
-                    }
-                }
-                total + last_ru
+                let folds = sum_folds(m, rows, n, cols, |ru, cu| {
+                    ru.checked_add(cu)?.checked_add(k)?.checked_sub(2)
+                })?;
+                folds.checked_add(last_tile(m, rows))
             }
             (Dataflow::WeightStationary, FoldOverlap::DoubleBuffered) => {
                 // The next tile's weight preload overlaps the current
                 // fold's drain; each fold pays its streaming window only,
                 // plus the first preload.
-                let mut total = self.array.rows().min(k) as u64;
-                for k0 in (0..k).step_by(self.array.rows()) {
-                    let ru = self.array.rows().min(k - k0);
-                    for n0 in (0..n).step_by(self.array.cols()) {
-                        let cu = self.array.cols().min(n - n0);
-                        total += (m + ru + cu - 2) as u64;
-                    }
-                }
-                total
+                let folds = sum_folds(k, rows, n, cols, |ru, cu| {
+                    m.checked_add(ru)?.checked_add(cu)?.checked_sub(2)
+                })?;
+                folds.checked_add(rows.min(k))
+            }
+            (Dataflow::InputStationary, FoldOverlap::DoubleBuffered) => {
+                // Mirror of the weight-stationary treatment: the next
+                // tile's input preload overlaps the current drain.
+                let folds = sum_folds(m, rows, k, cols, |ru, cu| {
+                    n.checked_add(ru)?.checked_add(cu)?.checked_sub(2)
+                })?;
+                folds.checked_add(cols.min(k))
             }
         }
     }
 
-    /// Packed 1-D convolution cycles under the configured overlap mode.
-    fn fuse_cycles(&self, channels: usize, lines: usize, l_out: usize, k: usize) -> u64 {
+    /// Packed 1-D convolution cycles under the configured overlap mode,
+    /// in checked arithmetic (see [`LatencyModel::gemm_cycles`]).
+    fn fuse_cycles(&self, channels: u64, lines: u64, l_out: u64, k: u64) -> Option<u64> {
+        let (rows, cols) = (c64(self.array.rows()), c64(self.array.cols()));
+        let lpr = best_lpr(rows, cols, channels, lines, l_out, k);
+        let slots_per_channel = div_ceil(lines, lpr)?;
+        let n_slots = channels.checked_mul(slots_per_channel)?;
         match self.overlap {
-            FoldOverlap::Serial => {
-                conv1d::analytic_cycles_packed(&self.array, channels, lines, l_out, k)
-            }
+            FoldOverlap::Serial => fuse_cycles_at_lpr(rows, cols, n_slots, l_out, k, lpr),
             FoldOverlap::DoubleBuffered => {
-                // Per fold: fill + broadcast compute; final fold also drains.
-                let cols = self.array.cols();
-                let lpr = conv1d::lines_per_row(&self.array, channels, lines, l_out, k);
-                let slots_per_channel = lines.div_ceil(lpr);
-                let n_slots = channels * slots_per_channel;
+                // Per fold: fill + broadcast compute ((width + k − 1) + k);
+                // only the final fold drains its ru rows.
                 let mut total = 0u64;
-                let mut last_ru = 0u64;
-                for slot0 in (0..n_slots).step_by(self.array.rows()) {
-                    let ru = self.array.rows().min(n_slots - slot0);
+                for (_ru, count) in tile_classes(n_slots, rows) {
+                    if count == 0 {
+                        continue;
+                    }
                     if lpr == 1 {
-                        for c0 in (0..l_out).step_by(cols) {
-                            let cw = cols.min(l_out - c0);
-                            total += ((cw + k - 1) + k) as u64;
-                            last_ru = ru as u64;
+                        for (cw, cc) in tile_classes(l_out, cols) {
+                            if cc == 0 {
+                                continue;
+                            }
+                            let fold = cw.checked_add(k.checked_mul(2)?)?.checked_sub(1)?;
+                            total = total.checked_add(fold.checked_mul(count)?.checked_mul(cc)?)?;
                         }
                     } else {
-                        total += ((lpr * l_out + k - 1) + k) as u64;
-                        last_ru = ru as u64;
+                        let width = lpr.checked_mul(l_out)?;
+                        let fold = width.checked_add(k.checked_mul(2)?)?.checked_sub(1)?;
+                        total = total.checked_add(fold.checked_mul(count)?)?;
                     }
                 }
-                total + last_ru
+                total.checked_add(last_tile(n_slots, rows))
             }
         }
     }
@@ -255,30 +277,35 @@ impl LatencyModel {
     /// # Errors
     ///
     /// Returns [`LatencyError::BroadcastRequired`] for a FuSe operator on a
-    /// broadcast-less array and [`LatencyError::DegenerateOp`] for
-    /// zero-sized work.
+    /// broadcast-less array, [`LatencyError::DegenerateOp`] for zero-sized
+    /// work, and [`LatencyError::ArithmeticOverflow`] when the cycle count
+    /// does not fit in `u64`.
     pub fn cycles(&self, op: &Op) -> Result<u64, LatencyError> {
         let (oh, ow, _) = op.output_shape();
+        let overflow = || LatencyError::ArithmeticOverflow { op: op.to_string() };
         match *op {
             Op::Conv2d { in_c, out_c, k, .. } => {
-                let m = oh * ow * self.batch;
-                let kdim = k * k * in_c;
-                check_nonzero(op, &[m, kdim, out_c])?;
-                Ok(self.gemm_cycles(m, kdim, out_c))
+                check_nonzero(op, &[oh, ow, self.batch, k, in_c, out_c])?;
+                let m = mul3(oh, ow, self.batch).ok_or_else(overflow)?;
+                let kdim = mul3(k, k, in_c).ok_or_else(overflow)?;
+                self.gemm_cycles(m, kdim, c64(out_c)).ok_or_else(overflow)
             }
             Op::Depthwise { c, k, .. } => {
-                let m = oh * ow * self.batch;
-                check_nonzero(op, &[m, k * k, c])?;
+                check_nonzero(op, &[oh, ow, self.batch, k, c])?;
+                let m = mul3(oh, ow, self.batch).ok_or_else(overflow)?;
+                let kk = c64(k).checked_mul(c64(k)).ok_or_else(overflow)?;
                 // One single-column GEMM per channel: no reuse across
                 // channels, one array column used (§III-B). Batching adds
                 // rows but never a second column — it cannot rescue
                 // depthwise utilization.
-                Ok(c as u64 * self.gemm_cycles(m, k * k, 1))
+                let per_channel = self.gemm_cycles(m, kk, 1).ok_or_else(overflow)?;
+                c64(c).checked_mul(per_channel).ok_or_else(overflow)
             }
             Op::Pointwise { in_c, out_c, .. } => {
-                let m = oh * ow * self.batch;
-                check_nonzero(op, &[m, in_c, out_c])?;
-                Ok(self.gemm_cycles(m, in_c, out_c))
+                check_nonzero(op, &[oh, ow, self.batch, in_c, out_c])?;
+                let m = mul3(oh, ow, self.batch).ok_or_else(overflow)?;
+                self.gemm_cycles(m, c64(in_c), c64(out_c))
+                    .ok_or_else(overflow)
             }
             Op::FuSe1d { c, k, axis, .. } => {
                 if !self.array.has_broadcast() {
@@ -293,14 +320,16 @@ impl LatencyModel {
                     Axis1d::Col => (ow, oh),
                 };
                 check_nonzero(op, &[c, lines, l_out, k])?;
-                Ok(self.fuse_cycles(c, lines, l_out, k))
+                self.fuse_cycles(c64(c), c64(lines), c64(l_out), c64(k))
+                    .ok_or_else(overflow)
             }
             Op::Fc {
                 in_features,
                 out_features,
             } => {
                 check_nonzero(op, &[in_features, out_features])?;
-                Ok(self.gemm_cycles(1, in_features, out_features))
+                self.gemm_cycles(1, c64(in_features), c64(out_features))
+                    .ok_or_else(overflow)
             }
         }
     }
@@ -314,15 +343,230 @@ fn check_nonzero(op: &Op, dims: &[usize]) -> Result<(), LatencyError> {
     }
 }
 
+/// Lossless `usize → u64` conversion (saturating on exotic >64-bit
+/// targets), so shape products can be formed in checked `u64` arithmetic.
+pub(crate) fn c64(x: usize) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// Saturating `usize → u64 → u32` conversion for fold-occupancy fields.
+pub(crate) fn c32(x: usize) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+fn mul3(a: usize, b: usize, c: usize) -> Option<u64> {
+    c64(a).checked_mul(c64(b))?.checked_mul(c64(c))
+}
+
+fn div_ceil(a: u64, b: u64) -> Option<u64> {
+    Some(a.checked_add(b.checked_sub(1)?)? / b)
+}
+
+/// The tile classes of `total` split into `tile`-sized folds: full tiles
+/// plus an optional remainder, as `(size, count)` pairs. A class with
+/// `count == 0` must be skipped.
+fn tile_classes(total: u64, tile: u64) -> [(u64, u64); 2] {
+    let rem = total % tile;
+    [(tile, total / tile), (rem, u64::from(rem != 0))]
+}
+
+/// Size of the *last* tile when `total` is split into `tile`-sized folds —
+/// the remainder if one exists, else a full tile (clamped for
+/// `total < tile`).
+fn last_tile(total: u64, tile: u64) -> u64 {
+    let rem = total % tile;
+    if rem != 0 {
+        rem
+    } else {
+        tile.min(total)
+    }
+}
+
+/// Checked Σ over the 2-D fold grid `tiles(dim_r, rows) × tiles(dim_c,
+/// cols)` of a per-fold cycle cost — the closed form of the simulators'
+/// fold loops.
+fn sum_folds(
+    dim_r: u64,
+    rows: u64,
+    dim_c: u64,
+    cols: u64,
+    fold: impl Fn(u64, u64) -> Option<u64>,
+) -> Option<u64> {
+    let mut total = 0u64;
+    for (ru, rc) in tile_classes(dim_r, rows) {
+        if rc == 0 {
+            continue;
+        }
+        for (cu, cc) in tile_classes(dim_c, cols) {
+            if cc == 0 {
+                continue;
+            }
+            total = total.checked_add(fold(ru, cu)?.checked_mul(rc)?.checked_mul(cc)?)?;
+        }
+    }
+    Some(total)
+}
+
+/// Serial packed-conv1d cycles at a fixed packing factor, mirroring
+/// `conv1d::cycles_at_lpr` in checked arithmetic: each fold costs
+/// `(width + k − 1) + k + ru`.
+fn fuse_cycles_at_lpr(
+    rows: u64,
+    cols: u64,
+    n_slots: u64,
+    l_out: u64,
+    k: u64,
+    lpr: u64,
+) -> Option<u64> {
+    let mut total = 0u64;
+    for (ru, rc) in tile_classes(n_slots, rows) {
+        if rc == 0 {
+            continue;
+        }
+        if lpr == 1 {
+            for (cw, cc) in tile_classes(l_out, cols) {
+                if cc == 0 {
+                    continue;
+                }
+                let fold = cw
+                    .checked_add(k.checked_mul(2)?)?
+                    .checked_sub(1)?
+                    .checked_add(ru)?;
+                total = total.checked_add(fold.checked_mul(rc)?.checked_mul(cc)?)?;
+            }
+        } else {
+            let width = lpr.checked_mul(l_out)?;
+            let fold = width
+                .checked_add(k.checked_mul(2)?)?
+                .checked_sub(1)?
+                .checked_add(ru)?;
+            total = total.checked_add(fold.checked_mul(rc)?)?;
+        }
+    }
+    Some(total)
+}
+
+/// The packing factor `conv1d::lines_per_row` would choose, evaluated with
+/// the checked closed form (candidates whose cycle count overflows are
+/// never selected).
+fn best_lpr(rows: u64, cols: u64, channels: u64, lines: u64, l_out: u64, k: u64) -> u64 {
+    let max_lpr = if l_out >= cols {
+        1
+    } else {
+        (cols / l_out).clamp(1, lines)
+    };
+    (1..=max_lpr)
+        .min_by_key(|&lpr| {
+            div_ceil(lines, lpr)
+                .and_then(|spc| channels.checked_mul(spc))
+                .and_then(|n_slots| fuse_cycles_at_lpr(rows, cols, n_slots, l_out, k, lpr))
+                .unwrap_or(u64::MAX)
+        })
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fuseconv_nn::FuSeVariant;
-    use fuseconv_systolic::ConfigError;
+    use fuseconv_systolic::{conv1d, gemm, is_gemm, ws_gemm, ConfigError};
     use fuseconv_tensor::Tensor;
 
     fn array64() -> ArrayConfig {
         ArrayConfig::square(64).unwrap().with_broadcast(true)
+    }
+
+    #[test]
+    fn closed_form_matches_loop_accounting_on_grids() {
+        // The checked closed-form fold accounting must reproduce the
+        // simulators' loop-based analytic counts exactly, dataflow by
+        // dataflow, including remainder tiles.
+        for (rows, cols) in [(3usize, 5usize), (8, 8), (5, 3), (64, 64)] {
+            let cfg = ArrayConfig::new(rows, cols).unwrap().with_broadcast(true);
+            for m in [1usize, 2, 7, 64, 65, 200] {
+                for k in [1usize, 3, 64, 130] {
+                    for n in [1usize, 5, 64, 100] {
+                        let (mu, ku, nu) = (c64(m), c64(k), c64(n));
+                        let os = LatencyModel::new(cfg);
+                        assert_eq!(
+                            os.gemm_cycles(mu, ku, nu),
+                            Some(gemm::analytic_cycles(&cfg, m, k, n)),
+                            "OS {rows}x{cols} m={m} k={k} n={n}"
+                        );
+                        let ws = os.with_dataflow(Dataflow::WeightStationary);
+                        assert_eq!(
+                            ws.gemm_cycles(mu, ku, nu),
+                            Some(ws_gemm::analytic_cycles(&cfg, m, k, n)),
+                            "WS {rows}x{cols} m={m} k={k} n={n}"
+                        );
+                        let is = os.with_dataflow(Dataflow::InputStationary);
+                        assert_eq!(
+                            is.gemm_cycles(mu, ku, nu),
+                            Some(is_gemm::analytic_cycles(&cfg, m, k, n)),
+                            "IS {rows}x{cols} m={m} k={k} n={n}"
+                        );
+                    }
+                }
+            }
+            for channels in [1usize, 3, 9] {
+                for lines in [1usize, 5, 12] {
+                    for l_out in [1usize, 2, 7, 30] {
+                        for k in [1usize, 3, 5] {
+                            let model = LatencyModel::new(cfg);
+                            assert_eq!(
+                                model.fuse_cycles(c64(channels), c64(lines), c64(l_out), c64(k)),
+                                Some(conv1d::analytic_cycles_packed(
+                                    &cfg, channels, lines, l_out, k
+                                )),
+                                "fuse {rows}x{cols} c={channels} lines={lines} \
+                                 l_out={l_out} k={k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_shapes_error_instead_of_wrapping() {
+        // Regression: these shapes previously wrapped the u64 accumulator
+        // in release builds (and the loop-based accounting would not even
+        // terminate in reasonable time). They must now fail fast.
+        let model = LatencyModel::new(array64());
+        let big = 3_000_000_000usize; // 3e9: m = oh·ow ≈ 9e18 still fits u64…
+        let huge_pw = Op::pointwise(big, big, 4_000_000_000, 4_000_000_000);
+        assert!(matches!(
+            model.cycles(&huge_pw),
+            Err(LatencyError::ArithmeticOverflow { .. })
+        ));
+        assert!(matches!(
+            model.fold_plan(&huge_pw),
+            Err(LatencyError::ArithmeticOverflow { .. })
+        ));
+        // …and per-channel × channel-count products are checked too.
+        let huge_dw = Op::depthwise(big, 1_000_000, 4_000_000_000, 3, 1, 1);
+        assert!(matches!(
+            model.cycles(&huge_dw),
+            Err(LatencyError::ArithmeticOverflow { .. })
+        ));
+        // Overflow holds across every dataflow × overlap combination.
+        for dataflow in [
+            Dataflow::OutputStationary,
+            Dataflow::WeightStationary,
+            Dataflow::InputStationary,
+        ] {
+            for overlap in [FoldOverlap::Serial, FoldOverlap::DoubleBuffered] {
+                let m = model.with_dataflow(dataflow).with_overlap(overlap);
+                assert!(
+                    matches!(
+                        m.cycles(&huge_pw),
+                        Err(LatencyError::ArithmeticOverflow { .. })
+                    ),
+                    "{dataflow:?} {overlap:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!
 //! [`FoldOverlap::Serial`]: crate::FoldOverlap::Serial
 
-use crate::map::{Dataflow, LatencyError, LatencyModel};
+use crate::map::{c32, c64, Dataflow, FoldOverlap, LatencyError, LatencyModel};
 use fuseconv_nn::ops::{Axis1d, Op};
 use fuseconv_systolic::conv1d;
 use fuseconv_trace::{FoldKind, FoldSpec};
@@ -30,6 +30,21 @@ fn check_nonzero(op: &Op, dims: &[usize]) -> Result<(), LatencyError> {
     } else {
         Ok(())
     }
+}
+
+/// Saturating `Σ dims − sub` in `u64`: a fold-phase length. Saturation is
+/// unreachable in practice because [`LatencyModel::fold_plan`] first
+/// proves the plan's total cycles fit `u64` via the checked accounting.
+fn phase(dims: &[usize], sub: u64) -> u64 {
+    dims.iter()
+        .map(|&d| c64(d))
+        .fold(0u64, u64::saturating_add)
+        .saturating_sub(sub)
+}
+
+/// Saturating three-way product in `u64`: a fold's MAC count.
+fn macs3(a: usize, b: usize, c: usize) -> u64 {
+    c64(a).saturating_mul(c64(b)).saturating_mul(c64(c))
 }
 
 impl LatencyModel {
@@ -45,12 +60,12 @@ impl LatencyModel {
                         out.push(FoldSpec {
                             tag: 0,
                             kind: FoldKind::OutputStationary,
-                            rows_used: ru as u32,
-                            cols_used: cu as u32,
+                            rows_used: c32(ru),
+                            cols_used: c32(cu),
                             fill: 0,
-                            compute: (ru + cu + k - 2) as u64,
-                            drain: ru as u64,
-                            macs: (ru * cu * k) as u64,
+                            compute: phase(&[ru, cu, k], 2),
+                            drain: c64(ru),
+                            macs: macs3(ru, cu, k),
                         });
                     }
                 }
@@ -63,12 +78,12 @@ impl LatencyModel {
                         out.push(FoldSpec {
                             tag: 0,
                             kind: FoldKind::WeightStationary,
-                            rows_used: ru as u32,
-                            cols_used: cu as u32,
-                            fill: ru as u64,
-                            compute: (m + ru + cu - 2) as u64,
+                            rows_used: c32(ru),
+                            cols_used: c32(cu),
+                            fill: c64(ru),
+                            compute: phase(&[m, ru, cu], 2),
                             drain: 0,
-                            macs: (ru * cu * m) as u64,
+                            macs: macs3(ru, cu, m),
                         });
                     }
                 }
@@ -81,12 +96,12 @@ impl LatencyModel {
                         out.push(FoldSpec {
                             tag: 0,
                             kind: FoldKind::InputStationary,
-                            rows_used: ru as u32,
-                            cols_used: cu as u32,
-                            fill: cu as u64,
-                            compute: (n + ru + cu - 2) as u64,
+                            rows_used: c32(ru),
+                            cols_used: c32(cu),
+                            fill: c64(cu),
+                            compute: phase(&[n, ru, cu], 2),
                             drain: 0,
-                            macs: (ru * cu * n) as u64,
+                            macs: macs3(ru, cu, n),
                         });
                     }
                 }
@@ -121,26 +136,29 @@ impl LatencyModel {
                     out.push(FoldSpec {
                         tag: 0,
                         kind: FoldKind::RowBroadcast,
-                        rows_used: ru as u32,
-                        cols_used: cw as u32,
-                        fill: (cw + k - 1) as u64,
-                        compute: k as u64,
-                        drain: ru as u64,
-                        macs: (ru * cw * k) as u64,
+                        rows_used: c32(ru),
+                        cols_used: c32(cw),
+                        fill: phase(&[cw, k], 1),
+                        compute: c64(k),
+                        drain: c64(ru),
+                        macs: macs3(ru, cw, k),
                     });
                 }
             } else {
                 let nominal_width = lpr * l_out;
-                let busy: u64 = chunk.iter().map(|&n| (n * l_out) as u64).sum();
+                let busy: u64 = chunk
+                    .iter()
+                    .map(|&n| c64(n).saturating_mul(c64(l_out)))
+                    .fold(0u64, u64::saturating_add);
                 out.push(FoldSpec {
                     tag: 0,
                     kind: FoldKind::RowBroadcast,
-                    rows_used: ru as u32,
-                    cols_used: nominal_width as u32,
-                    fill: (nominal_width + k - 1) as u64,
-                    compute: k as u64,
-                    drain: ru as u64,
-                    macs: busy * k as u64,
+                    rows_used: c32(ru),
+                    cols_used: c32(nominal_width),
+                    fill: phase(&[nominal_width, k], 1),
+                    compute: c64(k),
+                    drain: c64(ru),
+                    macs: busy.saturating_mul(c64(k)),
                 });
             }
         }
@@ -161,8 +179,12 @@ impl LatencyModel {
     /// Same conditions as [`LatencyModel::cycles`]:
     /// [`LatencyError::BroadcastRequired`] for a FuSe operator on a
     /// broadcast-less array, [`LatencyError::DegenerateOp`] for zero-sized
-    /// work.
+    /// work, [`LatencyError::ArithmeticOverflow`] when the serial cycle
+    /// total the plan describes does not fit `u64`.
     pub fn fold_plan(&self, op: &Op) -> Result<Vec<FoldSpec>, LatencyError> {
+        // Plans document serial accounting; prove that total fits u64
+        // before emitting a single spec, so overflow is an error here too.
+        self.with_overlap(FoldOverlap::Serial).cycles(op)?;
         let (oh, ow, _) = op.output_shape();
         let mut plan = Vec::new();
         match *op {

@@ -91,6 +91,7 @@ pub fn simulate_traced(
     if !cfg.has_broadcast() {
         return Err(ConfigError::BroadcastUnavailable);
     }
+    crate::legality::gate(crate::legality::DataflowKind::RowBroadcast, cfg)?;
     if inputs.is_empty() || inputs.len() != kernels.len() {
         return Err(ConfigError::BadOperand {
             what: "batch must be nonempty with one kernel per input",
@@ -352,6 +353,7 @@ pub fn simulate_packed_traced(
     if !cfg.has_broadcast() {
         return Err(ConfigError::BroadcastUnavailable);
     }
+    crate::legality::gate(crate::legality::DataflowKind::RowBroadcast, cfg)?;
     let Some(first) = work.first() else {
         return Err(ConfigError::BadOperand {
             what: "packed batch must be nonempty",

@@ -60,6 +60,7 @@ pub fn simulate_traced(
     b: &Tensor,
     sink: &mut dyn TraceSink,
 ) -> Result<SimResult, ConfigError> {
+    crate::legality::gate(crate::legality::DataflowKind::OutputStationary, cfg)?;
     let (ad, bd) = (a.shape().dims(), b.shape().dims());
     if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
         return Err(ConfigError::BadOperand {

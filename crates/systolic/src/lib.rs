@@ -43,6 +43,7 @@ pub mod config;
 pub mod conv1d;
 pub mod gemm;
 pub mod is_gemm;
+pub mod legality;
 pub mod result;
 pub mod ws_gemm;
 

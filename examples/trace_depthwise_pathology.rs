@@ -16,6 +16,7 @@
 //! counts, one row per array row) next to the working directory so CI can
 //! archive them.
 
+use fuseconv::analyze::{analyze_op, RuleId, Severity};
 use fuseconv::core::trace::simulate_op_traced;
 use fuseconv::latency::LatencyModel;
 use fuseconv::nn::ops::{Axis1d, Op};
@@ -31,6 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the row half of its FuSe replacement (a bank of 1-D row filters).
     let depthwise = Op::depthwise(16, 16, 16, 3, 1, 1);
     let fuse_rows = Op::fuse1d(16, 16, 16, 3, 1, 1, Axis1d::Row);
+
+    // The static analyzer predicts the pathology before any cycle runs:
+    // the im2col depthwise lowering is flagged UTL001 (single-column GEMM,
+    // utilization bounded by 1/W) while the FuSe bank audits clean. The
+    // traced heatmaps below must agree with this verdict.
+    let dw_diags = analyze_op(&model, &depthwise, "trace_depthwise_pathology");
+    let static_verdict = dw_diags
+        .iter()
+        .find(|d| d.rule == RuleId::Utl001SingleColumnGemm && d.severity == Severity::Warning)
+        .expect("the analyzer must flag im2col depthwise as single-column");
+    println!("static analyzer: {static_verdict}\n");
+    assert!(
+        analyze_op(&model, &fuse_rows, "trace_depthwise_pathology").is_empty(),
+        "the FuSe bank must audit clean"
+    );
 
     let mut dw_sink = UtilizationSink::new(side, side);
     let dw = simulate_op_traced(&model, &depthwise, &mut dw_sink)?;
@@ -63,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(
         dw_sink.active_cols(),
         1,
-        "im2col depthwise must be single-column"
+        "im2col depthwise must be single-column, as the static UTL001 verdict predicts"
     );
     assert_eq!(
         fuse_sink.active_rows(),

@@ -14,9 +14,12 @@
 //! - [`hwcost`] — structural area/power model for the broadcast dataflow
 //! - [`train`] — layer-wise backprop trainer and synthetic dataset
 //! - [`trace`] — event tracing: SCALE-Sim CSVs, Chrome timelines, PE heatmaps
+//! - [`analyze`] — static dataflow-legality analyzer and workspace lints
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use fuseconv_analyze as analyze;
 pub use fuseconv_core as core;
 pub use fuseconv_hwcost as hwcost;
 pub use fuseconv_latency as latency;
