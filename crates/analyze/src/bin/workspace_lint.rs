@@ -8,7 +8,10 @@
 //! 2. no `.unwrap()` in simulator and latency-model non-test code — hot
 //!    loops must propagate errors, not abort;
 //! 3. no bare `as u64`/`as u32` casts in the latency accounting — cycle
-//!    arithmetic must use the checked/saturating helpers.
+//!    arithmetic must use the checked/saturating helpers;
+//! 4. every `#[allow(...)]` attribute anywhere in the workspace (crate
+//!    sources, `examples/`, `tests/`) carries a trailing `// reason:`
+//!    comment on the same line justifying the suppression.
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -79,6 +82,45 @@ fn check_forbidden(root: &Path, rel: &str, needle: &str, why: &str, findings: &m
     }
 }
 
+/// Every `.rs` file under a directory tree, sorted for stable output.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if let Ok(entries) = fs::read_dir(&d) {
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|x| x == "rs") {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Flags every `#[allow(...)]` attribute lacking a same-line `// reason:`
+/// justification. Comment lines are skipped (prose may mention the
+/// attribute); the needle is assembled so this lint never flags itself.
+fn check_allow_reasons(root: &Path, rel: &str, findings: &mut Vec<String>) {
+    let needle = concat!("#[", "allow(");
+    let source = read(&root.join(rel));
+    for (i, line) in source.lines().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        if line.contains(needle) && !line.contains("// reason:") {
+            findings.push(format!(
+                "{rel}:{}: `{needle}...)]` without a trailing `// reason:` comment",
+                i + 1
+            ));
+        }
+    }
+}
+
 /// Every `crates/*/src/lib.rs`, sorted for stable output.
 fn crate_roots(root: &Path) -> Vec<String> {
     let mut out = Vec::new();
@@ -142,7 +184,11 @@ fn main() -> ExitCode {
     }
 
     // Rule 3: no bare widening casts in the latency accounting.
-    for rel in ["crates/latency/src/map.rs", "crates/latency/src/plan.rs"] {
+    for rel in [
+        "crates/latency/src/map.rs",
+        "crates/latency/src/plan.rs",
+        "crates/latency/src/audit.rs",
+    ] {
         for needle in [" as u64", " as u32"] {
             check_forbidden(
                 &root,
@@ -154,9 +200,30 @@ fn main() -> ExitCode {
         }
     }
 
+    // Rule 4: every lint suppression is justified — workspace-wide,
+    // including the umbrella crate, examples and integration tests.
+    let mut scan_dirs = vec![root.join("src"), root.join("examples"), root.join("tests")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            scan_dirs.push(entry.path().join("src"));
+        }
+    }
+    scan_dirs.sort();
+    for dir in scan_dirs {
+        for path in rs_files(&dir) {
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            check_allow_reasons(&root, &rel, &mut findings);
+        }
+    }
+
     if findings.is_empty() {
         println!(
-            "workspace-lint: {} crate roots and the latency/simulator sources are clean",
+            "workspace-lint: {} crate roots, the latency/simulator sources, and all \
+             workspace/example/test suppressions are clean",
             roots.len() + 1
         );
         ExitCode::SUCCESS

@@ -42,9 +42,62 @@ pub enum RuleId {
     /// The operator lowers to a single-row GEMM: at most one array row is
     /// ever busy, bounding utilization by `1/H`.
     Utl002SingleRowGemm,
+    /// The fold plan leaves part of the output iteration space uncovered:
+    /// some output elements are computed by no fold.
+    Plan001CoverageGap,
+    /// The fold plan computes part of the output iteration space more than
+    /// once (double-compute between folds).
+    Plan002Overlap,
+    /// A fold's tile occupancy exceeds the physical array dimensions.
+    Plan003OversizedTile,
+    /// The plan's summed per-fold MACs disagree with the operator's
+    /// iteration-space MAC total.
+    Plan004MacsMismatch,
+    /// A single fold's operand working set exceeds an SRAM buffer even
+    /// single-buffered — the fold cannot be resident at all.
+    Mem001FoldExceedsSram,
+    /// A fold's double-buffered working set (2x, overlapping next-fold
+    /// prefetch) exceeds an SRAM buffer: fills serialize against compute.
+    Mem002DoubleBufferExceedsSram,
+    /// A fold needs more DRAM bandwidth than its compute window covers:
+    /// the fold is bandwidth-bound at the modeled array size.
+    Mem003BandwidthInfeasible,
+    /// Consecutive blocks in a topology disagree on the tensor shape
+    /// flowing between them.
+    Shp001ShapeMismatch,
+    /// A FuSe substitution changes the output shape of the depthwise block
+    /// it replaces.
+    Shp002SubstitutionShapeChange,
 }
 
 impl RuleId {
+    /// Every rule the analyzer ships, in catalogue order. Pinned by the
+    /// `tests/golden/analyze_schema.json` regression test: extending the
+    /// list is additive, renaming or removing an entry is a breaking
+    /// change to the machine-readable report surface.
+    pub const ALL: [RuleId; 20] = [
+        RuleId::Ria001MultipleAssignment,
+        RuleId::Ria002NonConstantOffset,
+        RuleId::Ria003RankMismatch,
+        RuleId::Sch001ScheduleViolatesDependence,
+        RuleId::Loc001NonLocalProjection,
+        RuleId::Loc002BroadcastLinkRequired,
+        RuleId::Res001CycleArithmeticOverflow,
+        RuleId::Res002DegenerateOp,
+        RuleId::Res003SramAddressOverflow,
+        RuleId::Utl001SingleColumnGemm,
+        RuleId::Utl002SingleRowGemm,
+        RuleId::Plan001CoverageGap,
+        RuleId::Plan002Overlap,
+        RuleId::Plan003OversizedTile,
+        RuleId::Plan004MacsMismatch,
+        RuleId::Mem001FoldExceedsSram,
+        RuleId::Mem002DoubleBufferExceedsSram,
+        RuleId::Mem003BandwidthInfeasible,
+        RuleId::Shp001ShapeMismatch,
+        RuleId::Shp002SubstitutionShapeChange,
+    ];
+
     /// The rule's stable short code (e.g. `"SCH001"`).
     pub fn code(&self) -> &'static str {
         match self {
@@ -59,6 +112,15 @@ impl RuleId {
             RuleId::Res003SramAddressOverflow => "RES003",
             RuleId::Utl001SingleColumnGemm => "UTL001",
             RuleId::Utl002SingleRowGemm => "UTL002",
+            RuleId::Plan001CoverageGap => "PLAN001",
+            RuleId::Plan002Overlap => "PLAN002",
+            RuleId::Plan003OversizedTile => "PLAN003",
+            RuleId::Plan004MacsMismatch => "PLAN004",
+            RuleId::Mem001FoldExceedsSram => "MEM001",
+            RuleId::Mem002DoubleBufferExceedsSram => "MEM002",
+            RuleId::Mem003BandwidthInfeasible => "MEM003",
+            RuleId::Shp001ShapeMismatch => "SHP001",
+            RuleId::Shp002SubstitutionShapeChange => "SHP002",
         }
     }
 
@@ -95,6 +157,31 @@ impl RuleId {
             }
             RuleId::Utl002SingleRowGemm => {
                 "single-row GEMM lowering bounds array utilization by 1/H"
+            }
+            RuleId::Plan001CoverageGap => {
+                "fold plans must cover every output element at least once"
+            }
+            RuleId::Plan002Overlap => "fold plans must compute every output element at most once",
+            RuleId::Plan003OversizedTile => {
+                "per-fold tile occupancy must fit the physical array dims"
+            }
+            RuleId::Plan004MacsMismatch => {
+                "per-fold MACs must sum to the operator's iteration-space total"
+            }
+            RuleId::Mem001FoldExceedsSram => {
+                "each fold's single-buffered operand set must fit its SRAM buffer"
+            }
+            RuleId::Mem002DoubleBufferExceedsSram => {
+                "each fold's double-buffered operand set should fit its SRAM buffer"
+            }
+            RuleId::Mem003BandwidthInfeasible => {
+                "each fold's DRAM transfer should fit inside its compute window"
+            }
+            RuleId::Shp001ShapeMismatch => {
+                "consecutive blocks must agree on the tensor shape between them"
+            }
+            RuleId::Shp002SubstitutionShapeChange => {
+                "FuSe substitution must preserve the replaced block's output shape"
             }
         }
     }
@@ -302,6 +389,15 @@ mod tests {
         assert_eq!(RuleId::Ria001MultipleAssignment.code(), "RIA001");
         assert_eq!(RuleId::Sch001ScheduleViolatesDependence.code(), "SCH001");
         assert_eq!(RuleId::Utl001SingleColumnGemm.code(), "UTL001");
+        assert_eq!(RuleId::Plan001CoverageGap.code(), "PLAN001");
+        assert_eq!(RuleId::Plan002Overlap.code(), "PLAN002");
+        assert_eq!(RuleId::Plan003OversizedTile.code(), "PLAN003");
+        assert_eq!(RuleId::Plan004MacsMismatch.code(), "PLAN004");
+        assert_eq!(RuleId::Mem001FoldExceedsSram.code(), "MEM001");
+        assert_eq!(RuleId::Mem002DoubleBufferExceedsSram.code(), "MEM002");
+        assert_eq!(RuleId::Mem003BandwidthInfeasible.code(), "MEM003");
+        assert_eq!(RuleId::Shp001ShapeMismatch.code(), "SHP001");
+        assert_eq!(RuleId::Shp002SubstitutionShapeChange.code(), "SHP002");
     }
 
     #[test]

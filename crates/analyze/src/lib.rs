@@ -19,6 +19,17 @@
 //!    single-row GEMM lowerings are reported with their static
 //!    utilization bound — the Fig. 1(c)–(d) argument for why im2col
 //!    depthwise wastes a systolic array while FuSe fills it.
+//! 6. **Fold-plan coverage** (PLAN001–PLAN004): the latency model's fold
+//!    plans partition the output iteration space — no gaps, no
+//!    double-compute, tiles within the array, MAC totals exact — proved
+//!    by an independent interval analysis ([`fuseconv_latency::audit`]).
+//! 7. **Memory feasibility** (MEM001–MEM003): every fold's operand
+//!    working set fits SRAM (single- and double-buffered) and its DRAM
+//!    traffic fits its compute window at the modeled bandwidth.
+//! 8. **Shape flow** (SHP001/SHP002): symbolic shape propagation through
+//!    whole topologies — consecutive blocks agree on the flowing shape,
+//!    and every FuSe substitution preserves the output shape of the
+//!    depthwise block it replaces (§IV-A's drop-in contract).
 //!
 //! Findings are structured [`Diagnostic`]s (stable rule ID, severity,
 //! offending dependence vector, suggested fix) aggregated into
@@ -37,8 +48,14 @@
 
 pub mod diagnostics;
 pub mod mapping;
+pub mod memory;
 pub mod ops;
+pub mod plan;
+pub mod shapes;
 
 pub use diagnostics::{Diagnostic, Report, RuleId, Severity};
 pub use mapping::{analyze_dataflows, analyze_mapping};
-pub use ops::{analyze_network, analyze_op, gemm_dataflow_kind};
+pub use memory::{analyze_memory, diagnose_memory, MemoryBudget};
+pub use ops::{analyze_network, analyze_network_with_budget, analyze_op, gemm_dataflow_kind};
+pub use plan::{analyze_plan, diagnose_plan};
+pub use shapes::analyze_shapes;

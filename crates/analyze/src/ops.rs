@@ -17,6 +17,7 @@
 
 use crate::diagnostics::{Diagnostic, Report, RuleId, Severity};
 use crate::mapping::analyze_mapping;
+use crate::memory::MemoryBudget;
 use fuseconv_latency::{Dataflow, LatencyError, LatencyModel};
 use fuseconv_models::Network;
 use fuseconv_nn::ops::Op;
@@ -208,8 +209,21 @@ pub fn analyze_op(model: &LatencyModel, op: &Op, context: &str) -> Vec<Diagnosti
 }
 
 /// Audits a whole network: the legality of every dataflow mapping its
-/// operators use, then the per-operator resource and utilization rules.
+/// operators use, the per-operator resource and utilization rules, the
+/// fold-plan coverage and memory-feasibility rules of every operator's
+/// plan (under [`MemoryBudget::paper_default`]), and the topology's shape
+/// flow.
 pub fn analyze_network(model: &LatencyModel, net: &Network) -> Report {
+    analyze_network_with_budget(model, net, &MemoryBudget::paper_default())
+}
+
+/// [`analyze_network`] with a caller-chosen memory budget for the `MEM`
+/// rules.
+pub fn analyze_network_with_budget(
+    model: &LatencyModel,
+    net: &Network,
+    budget: &MemoryBudget,
+) -> Report {
     let mut report = Report::new();
     let ops = net.ops();
 
@@ -224,13 +238,27 @@ pub fn analyze_network(model: &LatencyModel, net: &Network) -> Report {
         }
     }
 
-    // Operator rules.
+    // Operator rules, including the per-plan coverage and memory audits
+    // (the plan is computed once and shared by both rule families).
     let label = format!("{}[{}]", net.name(), net.variant_label());
     for named in &ops {
         let context = format!("{label}/{}/{}", named.block_name, named.op);
         for d in analyze_op(model, &named.op, &context) {
             report.push(d);
         }
+        if let Ok(plan) = model.fold_plan(&named.op) {
+            for d in crate::plan::diagnose_plan(model, &named.op, &plan, &context) {
+                report.push(d);
+            }
+            for d in crate::memory::diagnose_memory(&named.op, &plan, budget, &context) {
+                report.push(d);
+            }
+        }
+    }
+
+    // Topology shape flow.
+    for d in crate::shapes::analyze_shapes(net) {
+        report.push(d);
     }
     report
 }

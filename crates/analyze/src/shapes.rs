@@ -1,0 +1,274 @@
+//! Shape-flow rules (`SHP001`/`SHP002`).
+//!
+//! Propagates symbolic feature-map shapes ([`fuseconv_models::ShapeFlow`])
+//! through a whole topology without expanding a single operator:
+//!
+//! * **SHP001** (error) — consecutive blocks disagree on the shape flowing
+//!   between them. The walk understands the three legal non-identity
+//!   transitions the zoo uses: residual branches (a block consuming the
+//!   *same* input as its predecessor, e.g. ResNet's projection shortcut),
+//!   channel-preserving spatial pooling (max/avg pool between stages), and
+//!   global pooling into the classifier (`H×W×C → 1×1×C`).
+//! * **SHP002** (error) — a FuSe substitution changes the output shape of
+//!   the depthwise block it replaces, or splits the expanded channels into
+//!   row/column banks whose concatenation disagrees with the projection's
+//!   expected input width (`2·⌊C/D⌋ ≠ ⌊2C/D⌋` for odd `C`).
+
+use crate::diagnostics::{Diagnostic, RuleId, Severity};
+use fuseconv_models::{Block, Network, SeparableBlock, Shape, ShapeFlow, SpatialFilter};
+use fuseconv_nn::FuSeVariant;
+
+/// Whether `cur` may legally follow `prev` in a topology.
+fn transition_ok(prev_in: Shape, prev_out: Shape, cur_in: Shape) -> bool {
+    // The common case: straight-line dataflow.
+    if cur_in == prev_out {
+        return true;
+    }
+    // A parallel branch re-reading the block input (residual shortcut
+    // projection, or the main path listed after its shortcut).
+    if cur_in == prev_in {
+        return true;
+    }
+    // Channel-preserving spatial down-sampling between the blocks: an
+    // inter-stage pooling layer (topologies model pooling implicitly via
+    // `set_resolution`), including the global pool before the classifier
+    // (`h = w = 1`).
+    cur_in.c == prev_out.c && cur_in.h <= prev_out.h && cur_in.w <= prev_out.w
+}
+
+/// Checks the bank-splitting arithmetic of one fused (or hypothetically
+/// fused) separable block: the row+column banks each filter `⌊C/D⌋`
+/// channels and concatenate, so the projection must expect exactly
+/// `2·⌊C/D⌋` input channels.
+fn bank_width_consistent(b: &SeparableBlock, variant: FuSeVariant) -> bool {
+    let fused = b.fused(variant);
+    2 * (b.exp_c / variant.d()) == fused.spatial_out_c()
+}
+
+/// Audits the shape flow of a whole network. An empty result proves the
+/// topology is shape-consistent and every FuSe substitution (actual and
+/// hypothetical) preserves the shape contract of the block it replaces.
+pub fn analyze_shapes(net: &Network) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let label = format!("{}[{}]", net.name(), net.variant_label());
+
+    // SHP001: pairwise chain consistency.
+    let blocks = net.blocks();
+    for pair in blocks.windows(2) {
+        let [(prev_name, prev), (cur_name, cur)] = pair else {
+            continue;
+        };
+        if !transition_ok(prev.input_shape(), prev.output_shape(), cur.input_shape()) {
+            out.push(Diagnostic {
+                rule: RuleId::Shp001ShapeMismatch,
+                severity: Severity::Error,
+                context: format!("{label}/{cur_name}"),
+                message: format!(
+                    "block `{cur}` expects {} but `{prev_name}` produces {} \
+                     (from input {})",
+                    cur.input_shape(),
+                    prev.output_shape(),
+                    prev.input_shape()
+                ),
+                dependence: None,
+                suggestion: "fix the topology so consecutive blocks agree on the \
+                             feature-map shape"
+                    .into(),
+            });
+        }
+    }
+
+    // SHP002: substitution shape preservation, for every separable block.
+    for (name, block) in blocks {
+        let Block::Separable(sep) = block else {
+            continue;
+        };
+        let context = format!("{label}/{name}");
+        // Variants to vet: the actual filter if already fused, otherwise
+        // both candidate substitutions of a replaceable depthwise block.
+        let variants: Vec<FuSeVariant> = match sep.filter {
+            SpatialFilter::Fuse(v) => vec![v],
+            SpatialFilter::Depthwise => vec![FuSeVariant::Full, FuSeVariant::Half],
+        };
+        let depthwise = SeparableBlock {
+            filter: SpatialFilter::Depthwise,
+            ..*sep
+        };
+        for variant in variants {
+            let fused = depthwise.fused(variant);
+            if fused.output_shape() != depthwise.output_shape() {
+                out.push(Diagnostic {
+                    rule: RuleId::Shp002SubstitutionShapeChange,
+                    severity: Severity::Error,
+                    context: context.clone(),
+                    message: format!(
+                        "fuse-{variant} substitution changes the block output from \
+                         {} to {}",
+                        depthwise.output_shape(),
+                        fused.output_shape()
+                    ),
+                    dependence: None,
+                    suggestion: "a FuSe substitution must be a drop-in replacement \
+                                 (§IV-A); keep stride, kernel and out_c unchanged"
+                        .into(),
+                });
+            } else if !bank_width_consistent(sep, variant) {
+                out.push(Diagnostic {
+                    rule: RuleId::Shp002SubstitutionShapeChange,
+                    severity: Severity::Error,
+                    context: context.clone(),
+                    message: format!(
+                        "fuse-{variant} banks concatenate to {} channels but the \
+                         projection expects {} (exp_c = {} is not divisible by \
+                         D = {})",
+                        2 * (sep.exp_c / variant.d()),
+                        fused.spatial_out_c(),
+                        sep.exp_c,
+                        variant.d()
+                    ),
+                    dependence: None,
+                    suggestion: "pad exp_c to a multiple of the variant divisor \
+                                 before substituting"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_models::zoo;
+
+    #[test]
+    fn zoo_topologies_are_shape_consistent() {
+        let mut nets = zoo::all_baselines();
+        nets.push(zoo::resnet50());
+        nets.push(zoo::efficientnet_b0());
+        for net in &nets {
+            for v in [None, Some(FuSeVariant::Full), Some(FuSeVariant::Half)] {
+                let n = match v {
+                    None => net.clone(),
+                    Some(var) => net.transform_all(var),
+                };
+                let diags = analyze_shapes(&n);
+                assert!(
+                    diags.is_empty(),
+                    "{} [{}]: {diags:?}",
+                    n.name(),
+                    n.variant_label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_fires_shp001() {
+        let net = Network::new(
+            "broken",
+            vec![
+                (
+                    "stem".into(),
+                    Block::Conv {
+                        in_h: 32,
+                        in_w: 32,
+                        in_c: 3,
+                        out_c: 16,
+                        k: 3,
+                        stride: 1,
+                    },
+                ),
+                (
+                    "head".into(),
+                    Block::Head {
+                        in_h: 32,
+                        in_w: 32,
+                        in_c: 24, // stem produced 16
+                        out_c: 64,
+                    },
+                ),
+            ],
+        );
+        let diags = analyze_shapes(&net);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == RuleId::Shp001ShapeMismatch && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn spatial_mismatch_fires_shp001() {
+        // Spatial *growth* between blocks is not a pooling transition.
+        let net = Network::new(
+            "broken-spatial",
+            vec![
+                (
+                    "stem".into(),
+                    Block::Conv {
+                        in_h: 32,
+                        in_w: 32,
+                        in_c: 3,
+                        out_c: 16,
+                        k: 3,
+                        stride: 2,
+                    },
+                ),
+                (
+                    "head".into(),
+                    Block::Head {
+                        in_h: 32, // stem produced 16×16
+                        in_w: 32,
+                        in_c: 16,
+                        out_c: 64,
+                    },
+                ),
+            ],
+        );
+        let diags = analyze_shapes(&net);
+        assert!(
+            diags.iter().any(|d| d.rule == RuleId::Shp001ShapeMismatch),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn odd_expansion_fires_shp002_for_half() {
+        let net = Network::new(
+            "odd-exp",
+            vec![(
+                "sep".into(),
+                Block::Separable(SeparableBlock {
+                    in_h: 14,
+                    in_w: 14,
+                    in_c: 33,
+                    exp_c: 33, // odd: 2·⌊33/2⌋ = 32 ≠ ⌊66/2⌋ = 33
+                    out_c: 64,
+                    k: 3,
+                    stride: 1,
+                    se_div: None,
+                    filter: SpatialFilter::Depthwise,
+                }),
+            )],
+        );
+        let diags = analyze_shapes(&net);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == RuleId::Shp002SubstitutionShapeChange
+                    && d.severity == Severity::Error
+                    && d.message.contains("half")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn residual_branch_and_pooling_transitions_are_legal() {
+        // ResNet-50 exercises both: branch_conv shares its input with the
+        // following conv, and set_resolution models the stem max-pool.
+        assert!(analyze_shapes(&zoo::resnet50()).is_empty());
+    }
+}

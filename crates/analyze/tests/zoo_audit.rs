@@ -21,24 +21,33 @@ fn paper_model() -> LatencyModel {
 
 #[test]
 fn every_zoo_network_audits_with_zero_errors() {
-    let model = paper_model();
+    // The full grid the plan-audit CI step sweeps: every network × every
+    // variant × the 8/32/64 arrays, all with zero error-severity findings
+    // (PLAN/MEM/SHP rules included).
     let mut nets = zoo::all_baselines();
     nets.push(zoo::resnet50());
     nets.push(zoo::efficientnet_b0());
-    for net in &nets {
-        for variant in [None, Some(FuSeVariant::Full), Some(FuSeVariant::Half)] {
-            let v = match variant {
-                None => net.clone(),
-                Some(var) => net.transform_all(var),
-            };
-            let report = analyze_network(&model, &v);
-            assert!(
-                !report.has_errors(),
-                "{} [{}] has error findings:\n{}",
-                v.name(),
-                v.variant_label(),
-                report.to_text()
-            );
+    for side in [8usize, 32, 64] {
+        let model = LatencyModel::new(
+            ArrayConfig::square(side)
+                .expect("side is nonzero")
+                .with_broadcast(true),
+        );
+        for net in &nets {
+            for variant in [None, Some(FuSeVariant::Full), Some(FuSeVariant::Half)] {
+                let v = match variant {
+                    None => net.clone(),
+                    Some(var) => net.transform_all(var),
+                };
+                let report = analyze_network(&model, &v);
+                assert!(
+                    !report.has_errors(),
+                    "{} [{}] at {side}x{side} has error findings:\n{}",
+                    v.name(),
+                    v.variant_label(),
+                    report.to_text()
+                );
+            }
         }
     }
 }

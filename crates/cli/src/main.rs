@@ -59,8 +59,10 @@ COMMANDS:
              scalesim: SCALE-Sim-style SRAM read/write traces of one layer
                        (--layer); writes <out>_{ifmap_read,filter_read,ofmap_write}.csv
   analyze    static dataflow-legality audit: verify RIA well-formedness, schedule
-             legality (tau.d >= 1), locality and resource/utilization rules before
-             any simulation   [--all | --network NAME] [--variant baseline|full|half]
+             legality (tau.d >= 1), locality and resource/utilization rules, plus
+             fold-plan coverage (PLAN), SRAM/bandwidth feasibility (MEM) and
+             tensor shape flow (SHP) — all before any simulation
+             [--all | --network NAME] [--variant baseline|full|half]
              [--format text|json] [--out PATH]; exits nonzero on error findings
   help       this text
 

@@ -45,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod map;
 pub mod memory;
 pub mod plan;
 pub mod report;
 
+pub use audit::{audit_plan, fold_footprint, plan_high_water, FoldFootprint, PlanViolation};
 pub use map::{Dataflow, FoldOverlap, LatencyError, LatencyModel};
 pub use report::{
     block_speedups, estimate_network, BlockLatency, ClassBreakdown, NetworkLatency, OpLatency,

@@ -182,9 +182,16 @@ impl LatencyModel {
     /// work, [`LatencyError::ArithmeticOverflow`] when the serial cycle
     /// total the plan describes does not fit `u64`.
     pub fn fold_plan(&self, op: &Op) -> Result<Vec<FoldSpec>, LatencyError> {
+        crate::audit::gate(self)?;
+        self.fold_plan_ungated(op)
+    }
+
+    /// [`LatencyModel::fold_plan`] without the plan-audit gate — used by
+    /// the audit itself, which must not recurse through the gate.
+    pub(crate) fn fold_plan_ungated(&self, op: &Op) -> Result<Vec<FoldSpec>, LatencyError> {
         // Plans document serial accounting; prove that total fits u64
         // before emitting a single spec, so overflow is an error here too.
-        self.with_overlap(FoldOverlap::Serial).cycles(op)?;
+        self.with_overlap(FoldOverlap::Serial).cycles_ungated(op)?;
         let (oh, ow, _) = op.output_shape();
         let mut plan = Vec::new();
         match *op {

@@ -30,8 +30,10 @@
 
 pub mod block;
 pub mod network;
+pub mod shape;
 pub mod topology;
 pub mod zoo;
 
 pub use block::{Block, SeparableBlock, SpatialFilter};
 pub use network::{Network, NetworkSummary};
+pub use shape::{Shape, ShapeFlow};

@@ -1,0 +1,165 @@
+//! Symbolic tensor shapes and shape propagation through blocks.
+//!
+//! Every [`Block`] consumes one feature map and produces another; this
+//! module makes those shapes first-class so static analyses can propagate
+//! them through a whole topology without expanding any operators. The
+//! `fuseconv-analyze` SHP rules build on [`ShapeFlow`] to prove
+//! channel/spatial consistency of the zoo and that FuSe substitution
+//! preserves every replaced block's output shape.
+
+use crate::block::{Block, SeparableBlock};
+
+/// A feature-map shape: height × width × channels.
+///
+/// Fully-connected layers are modelled as `1×1×features`, matching the
+/// global-pool-then-classify structure of every zoo network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Feature-map height.
+    pub h: usize,
+    /// Feature-map width.
+    pub w: usize,
+    /// Channels (or features for FC layers).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Convenience constructor.
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        Shape { h, w, c }
+    }
+
+    /// Total elements.
+    pub fn elems(&self) -> usize {
+        self.h * self.w * self.c
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// Symbolic shape propagation: what a stage consumes and produces.
+pub trait ShapeFlow {
+    /// The input feature-map shape the stage expects.
+    fn input_shape(&self) -> Shape;
+    /// The output feature-map shape the stage produces.
+    fn output_shape(&self) -> Shape;
+}
+
+/// `same`-padded strided output extent, the convention every block
+/// constructor uses (`pad = k/2`).
+fn conv_out(extent: usize, k: usize, stride: usize) -> usize {
+    (extent + 2 * (k / 2) - k) / stride + 1
+}
+
+impl ShapeFlow for SeparableBlock {
+    fn input_shape(&self) -> Shape {
+        Shape::new(self.in_h, self.in_w, self.in_c)
+    }
+
+    fn output_shape(&self) -> Shape {
+        let (oh, ow) = self.out_hw();
+        Shape::new(oh, ow, self.out_c)
+    }
+}
+
+impl ShapeFlow for Block {
+    fn input_shape(&self) -> Shape {
+        match *self {
+            Block::Conv {
+                in_h, in_w, in_c, ..
+            } => Shape::new(in_h, in_w, in_c),
+            Block::Separable(b) => b.input_shape(),
+            Block::Head {
+                in_h, in_w, in_c, ..
+            } => Shape::new(in_h, in_w, in_c),
+            Block::Fc { in_features, .. } => Shape::new(1, 1, in_features),
+        }
+    }
+
+    fn output_shape(&self) -> Shape {
+        match *self {
+            Block::Conv {
+                in_h,
+                in_w,
+                out_c,
+                k,
+                stride,
+                ..
+            } => Shape::new(conv_out(in_h, k, stride), conv_out(in_w, k, stride), out_c),
+            Block::Separable(b) => b.output_shape(),
+            Block::Head {
+                in_h, in_w, out_c, ..
+            } => Shape::new(in_h, in_w, out_c),
+            Block::Fc { out_features, .. } => Shape::new(1, 1, out_features),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::SpatialFilter;
+    use fuseconv_nn::FuSeVariant;
+
+    fn sep() -> SeparableBlock {
+        SeparableBlock {
+            in_h: 56,
+            in_w: 56,
+            in_c: 128,
+            exp_c: 128,
+            out_c: 256,
+            k: 3,
+            stride: 2,
+            se_div: None,
+            filter: SpatialFilter::Depthwise,
+        }
+    }
+
+    #[test]
+    fn conv_shapes_match_op_descriptor() {
+        let b = Block::Conv {
+            in_h: 224,
+            in_w: 224,
+            in_c: 3,
+            out_c: 32,
+            k: 3,
+            stride: 2,
+        };
+        assert_eq!(b.input_shape(), Shape::new(224, 224, 3));
+        // Matches Op::conv2d(224, 224, 3, 32, 3, 2, 1).output_shape().
+        let (oh, ow, oc) = b.ops()[0].output_shape();
+        assert_eq!(b.output_shape(), Shape::new(oh, ow, oc));
+    }
+
+    #[test]
+    fn separable_output_matches_last_op() {
+        for block in [
+            Block::Separable(sep()),
+            Block::Separable(sep().fused(FuSeVariant::Full)),
+            Block::Separable(sep().fused(FuSeVariant::Half)),
+        ] {
+            let (oh, ow, oc) = block.ops().last().unwrap().output_shape();
+            assert_eq!(block.output_shape(), Shape::new(oh, ow, oc), "{block}");
+        }
+    }
+
+    #[test]
+    fn fc_is_one_by_one() {
+        let b = Block::Fc {
+            in_features: 1024,
+            out_features: 1000,
+        };
+        assert_eq!(b.input_shape(), Shape::new(1, 1, 1024));
+        assert_eq!(b.output_shape(), Shape::new(1, 1, 1000));
+        assert_eq!(b.output_shape().elems(), 1000);
+    }
+
+    #[test]
+    fn display_reads_h_w_c() {
+        assert_eq!(Shape::new(7, 7, 960).to_string(), "7x7x960");
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden-file regression test for the `fuseconv analyze --format json`
+//! report schema. Downstream tooling (the CI plan-audit artifacts, trace
+//! viewers, dashboards) keys on the rule IDs, severity names and JSON
+//! object keys; `tests/golden/analyze_schema.json` pins that surface so
+//! any rename or removal shows up as a reviewable golden diff. Adding a
+//! new rule is the one additive change the golden file expects — append
+//! its code to the `rules` list.
+
+use fuseconv::analyze::{analyze_network, Report, RuleId, Severity};
+use fuseconv::latency::LatencyModel;
+use fuseconv::models::zoo;
+use fuseconv::nn::FuSeVariant;
+use fuseconv::systolic::ArrayConfig;
+
+const GOLDEN: &str = include_str!("golden/analyze_schema.json");
+
+/// The quoted strings of one named golden array, e.g. `golden_list("rules")`.
+fn golden_list(name: &str) -> Vec<String> {
+    let start = GOLDEN
+        .find(&format!("\"{name}\""))
+        .unwrap_or_else(|| panic!("golden file lacks section `{name}`"));
+    let open = GOLDEN[start..].find('[').expect("section is an array") + start;
+    let close = GOLDEN[open..].find(']').expect("array closes") + open;
+    let mut out = Vec::new();
+    let mut rest = &GOLDEN[open + 1..close];
+    while let Some(q0) = rest.find('"') {
+        let q1 = rest[q0 + 1..].find('"').expect("string closes") + q0 + 1;
+        out.push(rest[q0 + 1..q1].to_string());
+        rest = &rest[q1 + 1..];
+    }
+    out
+}
+
+/// Distinct object keys found at a given brace depth of a JSON document
+/// (depth 1 = the outermost object), in first-appearance order.
+fn keys_at_depth(json: &str, target: usize) -> Vec<String> {
+    let bytes = json.as_bytes();
+    let mut keys: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let is_key = bytes.get(j + 1) == Some(&b':');
+                if is_key && depth == target {
+                    let key = json[start..j].to_string();
+                    if !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Every value of a `"field":"..."` pair in the document.
+fn string_values_of(json: &str, field: &str) -> Vec<String> {
+    let needle = format!("\"{field}\":\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let start = at + needle.len();
+        let end = rest[start..].find('"').expect("value closes") + start;
+        out.push(rest[start..end].to_string());
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// The report the CLI assembles for `fuseconv analyze --array 8` on the
+/// default network: MobileNet-V2 in all three variants, duplicate
+/// mapping-level findings collapsed.
+fn cli_equivalent_report() -> Report {
+    let array = ArrayConfig::square(8)
+        .expect("8 is nonzero")
+        .with_broadcast(true);
+    let model = LatencyModel::new(array);
+    let net = zoo::mobilenet_v2();
+    let mut report = Report::new();
+    for v in [
+        net.clone(),
+        net.transform_all(FuSeVariant::Full),
+        net.transform_all(FuSeVariant::Half),
+    ] {
+        for d in analyze_network(&model, &v).diagnostics {
+            if !report.diagnostics.contains(&d) {
+                report.push(d);
+            }
+        }
+    }
+    report
+}
+
+#[test]
+fn rule_catalogue_matches_golden_schema() {
+    let codes: Vec<String> = RuleId::ALL.iter().map(|r| r.code().to_string()).collect();
+    assert_eq!(
+        codes,
+        golden_list("rules"),
+        "rule catalogue diverged from tests/golden/analyze_schema.json — \
+         renames/removals break downstream report consumers"
+    );
+}
+
+#[test]
+fn severity_names_match_golden_schema() {
+    let names: Vec<String> = [Severity::Info, Severity::Warning, Severity::Error]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(names, golden_list("severities"));
+}
+
+#[test]
+fn analyze_json_report_keys_match_golden_schema() {
+    let report = cli_equivalent_report();
+    assert!(
+        !report.diagnostics.is_empty(),
+        "schema check needs at least one diagnostic to pin object keys"
+    );
+    let json = report.to_json();
+    assert_eq!(
+        keys_at_depth(&json, 1),
+        golden_list("top_level_keys"),
+        "top-level report keys changed"
+    );
+    // The diagnostics array's objects sit one level below the array, two
+    // below the root.
+    assert_eq!(
+        keys_at_depth(&json, 3),
+        golden_list("diagnostic_keys"),
+        "per-diagnostic object keys changed"
+    );
+}
+
+#[test]
+fn analyze_json_report_values_stay_within_golden_vocabulary() {
+    let json = cli_equivalent_report().to_json();
+    let rules = golden_list("rules");
+    let severities = golden_list("severities");
+    let seen_rules = string_values_of(&json, "rule");
+    assert!(!seen_rules.is_empty());
+    for r in seen_rules {
+        assert!(rules.contains(&r), "rule `{r}` missing from golden schema");
+    }
+    for s in string_values_of(&json, "severity") {
+        assert!(
+            severities.contains(&s),
+            "severity `{s}` missing from golden schema"
+        );
+    }
+}
