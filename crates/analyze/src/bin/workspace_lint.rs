@@ -11,7 +11,10 @@
 //!    arithmetic must use the checked/saturating helpers;
 //! 4. every `#[allow(...)]` attribute anywhere in the workspace (crate
 //!    sources, `examples/`, `tests/`) carries a trailing `// reason:`
-//!    comment on the same line justifying the suppression.
+//!    comment on the same line justifying the suppression;
+//! 5. no bare `println!`/`eprintln!` in library-crate non-test code —
+//!    libraries report through return values and sinks, not stdio
+//!    (binaries, examples and tests are exempt).
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -121,6 +124,28 @@ fn check_allow_reasons(root: &Path, rel: &str, findings: &mut Vec<String>) {
     }
 }
 
+/// Flags every `println!`/`eprintln!` in a library file's non-test,
+/// non-comment code. The needles are assembled so this lint (a binary,
+/// itself exempt) never flags its own source when scanned.
+fn check_no_stdio_macros(root: &Path, rel: &str, findings: &mut Vec<String>) {
+    let needles = [concat!("print", "ln!("), concat!("eprint", "ln!(")];
+    let source = read(&root.join(rel));
+    for (i, line) in non_test_code(&source).lines().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        for needle in needles {
+            if line.contains(needle) {
+                findings.push(format!(
+                    "{rel}:{}: `{needle}...)` in library non-test code \
+                     (report through return values or sinks, not stdio)",
+                    i + 1
+                ));
+            }
+        }
+    }
+}
+
 /// Every `crates/*/src/lib.rs`, sorted for stable output.
 fn crate_roots(root: &Path) -> Vec<String> {
     let mut out = Vec::new();
@@ -220,10 +245,39 @@ fn main() -> ExitCode {
         }
     }
 
+    // Rule 5: no stdio macros in library crates. Library crates are the
+    // ones with a `src/lib.rs` (so `crates/cli`, a pure binary, is
+    // exempt), plus the umbrella crate; their `src/bin/` trees are
+    // binaries and stay exempt.
+    let mut lib_dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.join("lib.rs").is_file() {
+                lib_dirs.push(src);
+            }
+        }
+    }
+    lib_dirs.sort();
+    for dir in lib_dirs {
+        let bin_dir = dir.join("bin");
+        for path in rs_files(&dir) {
+            if path.starts_with(&bin_dir) {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            check_no_stdio_macros(&root, &rel, &mut findings);
+        }
+    }
+
     if findings.is_empty() {
         println!(
-            "workspace-lint: {} crate roots, the latency/simulator sources, and all \
-             workspace/example/test suppressions are clean",
+            "workspace-lint: {} crate roots, the latency/simulator sources, library \
+             stdio discipline, and all workspace/example/test suppressions are clean",
             roots.len() + 1
         );
         ExitCode::SUCCESS

@@ -42,6 +42,9 @@ pub enum RuleId {
     /// The operator lowers to a single-row GEMM: at most one array row is
     /// ever busy, bounding utilization by `1/H`.
     Utl002SingleRowGemm,
+    /// The operator's fold plan is compute-stall dominated: the cycle-
+    /// accounted counters predict ≥ 90% of compute-phase PE slots idle.
+    Utl003ComputeStallDominated,
     /// The fold plan leaves part of the output iteration space uncovered:
     /// some output elements are computed by no fold.
     Plan001CoverageGap,
@@ -75,7 +78,7 @@ impl RuleId {
     /// `tests/golden/analyze_schema.json` regression test: extending the
     /// list is additive, renaming or removing an entry is a breaking
     /// change to the machine-readable report surface.
-    pub const ALL: [RuleId; 20] = [
+    pub const ALL: [RuleId; 21] = [
         RuleId::Ria001MultipleAssignment,
         RuleId::Ria002NonConstantOffset,
         RuleId::Ria003RankMismatch,
@@ -87,6 +90,7 @@ impl RuleId {
         RuleId::Res003SramAddressOverflow,
         RuleId::Utl001SingleColumnGemm,
         RuleId::Utl002SingleRowGemm,
+        RuleId::Utl003ComputeStallDominated,
         RuleId::Plan001CoverageGap,
         RuleId::Plan002Overlap,
         RuleId::Plan003OversizedTile,
@@ -112,6 +116,7 @@ impl RuleId {
             RuleId::Res003SramAddressOverflow => "RES003",
             RuleId::Utl001SingleColumnGemm => "UTL001",
             RuleId::Utl002SingleRowGemm => "UTL002",
+            RuleId::Utl003ComputeStallDominated => "UTL003",
             RuleId::Plan001CoverageGap => "PLAN001",
             RuleId::Plan002Overlap => "PLAN002",
             RuleId::Plan003OversizedTile => "PLAN003",
@@ -157,6 +162,9 @@ impl RuleId {
             }
             RuleId::Utl002SingleRowGemm => {
                 "single-row GEMM lowering bounds array utilization by 1/H"
+            }
+            RuleId::Utl003ComputeStallDominated => {
+                "fold plan predicts >= 90% of compute-phase PE slots idle"
             }
             RuleId::Plan001CoverageGap => {
                 "fold plans must cover every output element at least once"

@@ -13,7 +13,10 @@
 //!   lowers to per-channel `M×K²·K²×1` GEMMs: a single array column is
 //!   ever busy, so utilization is statically bounded by `1/W` — the
 //!   Fig. 1(d) argument, reported here as a warning while the FuSe
-//!   row-broadcast lowering of the same work passes clean.
+//!   row-broadcast lowering of the same work passes clean;
+//! * **UTL003** — the cycle-accounted counters derived from the fold plan
+//!   predict ≥ 90% of compute-phase PE slots idle: the operator is
+//!   compute-stall dominated regardless of its fill/drain overheads.
 
 use crate::diagnostics::{Diagnostic, Report, RuleId, Severity};
 use crate::mapping::analyze_mapping;
@@ -25,6 +28,15 @@ use fuseconv_systolic::legality::{canonical_mapping, DataflowKind};
 
 /// SRAM element address space assumed by the trace sinks (32-bit).
 const SRAM_ADDRESS_SPACE: u64 = 1 << 32;
+
+/// Compute-phase PE idleness at or above which UTL003 fires.
+const COMPUTE_STALL_THRESHOLD: f64 = 0.90;
+
+/// Upper bound on the estimated fold count for which UTL003 will
+/// materialize a fold plan. Every zoo operator plans well under 10⁴
+/// folds; pathological shapes (which already trip the RES rules) would
+/// materialize billions of `FoldSpec`s just to be told they stall.
+const MAX_UTL003_FOLDS: u64 = 1_000_000;
 
 /// The legality-mapping kind a model's GEMM-lowered operators execute on.
 pub fn gemm_dataflow_kind(model: &LatencyModel) -> DataflowKind {
@@ -53,6 +65,29 @@ fn gemm_lowering(model: &LatencyModel, op: &Op) -> Option<(u64, u64, u64)> {
             in_features,
             out_features,
         } => Some((1, in_features as u64, out_features as u64)),
+    }
+}
+
+/// Cheap upper-bound estimate of how many folds the operator's plan
+/// holds, without materializing it (the plan is `O(folds)` memory).
+fn estimated_folds(model: &LatencyModel, op: &Op) -> u64 {
+    let rows = model.array().rows() as u64;
+    let cols = model.array().cols() as u64;
+    let tiles = |m: u64, n: u64| m.div_ceil(rows).saturating_mul(n.div_ceil(cols));
+    match (gemm_lowering(model, op), *op) {
+        // Depthwise lowers to one such GEMM *per channel*.
+        (Some((m, _, n)), Op::Depthwise { c, .. }) => tiles(m, n).saturating_mul(c as u64),
+        (Some((m, _, n)), _) => tiles(m, n),
+        // FuSe 1-D: one conv per (channel, line), `l_out` outputs wide;
+        // bound both by the larger spatial extent.
+        (None, _) => {
+            let (oh, ow, c) = op.output_shape();
+            let extent = oh.max(ow) as u64;
+            let convs = (c as u64)
+                .saturating_mul(extent)
+                .saturating_mul(model.batch() as u64);
+            tiles(convs, extent)
+        }
     }
 }
 
@@ -205,6 +240,40 @@ pub fn analyze_op(model: &LatencyModel, op: &Op, context: &str) -> Vec<Diagnosti
             });
         }
     }
+
+    // Stall attribution: derive cycle-accounted counters analytically from
+    // the fold plan and flag compute-stall-dominated operators. This is
+    // the dynamic counterpart of UTL001/UTL002 — it measures how idle the
+    // compute phase actually is rather than bounding it by shape alone.
+    // Skipped for shapes whose plan would not fit in memory; those trip
+    // the RES rules above instead.
+    let plan = if estimated_folds(model, op) <= MAX_UTL003_FOLDS {
+        model.fold_plan(op).ok()
+    } else {
+        None
+    };
+    if let Some(plan) = plan {
+        let counters = fuseconv_perf::PerfCounters::from_fold_plan(&plan, rows, cols);
+        let stall = counters.compute_stall_fraction();
+        if stall >= COMPUTE_STALL_THRESHOLD {
+            out.push(Diagnostic {
+                rule: RuleId::Utl003ComputeStallDominated,
+                severity: Severity::Info,
+                context: context.to_string(),
+                message: format!(
+                    "`{op}` is compute-stall dominated: {:.1}% of compute-phase PE \
+                     slots are idle ({} of {} PE-cycles busy)",
+                    stall * 100.0,
+                    counters.busy_pe_cycles(),
+                    counters.compute_pe_cycles(),
+                ),
+                dependence: None,
+                suggestion: "inspect `fuseconv perf` for the fill/active/bubble/drain \
+                             split and remap the operator to fill the array"
+                    .into(),
+            });
+        }
+    }
     out
 }
 
@@ -299,9 +368,43 @@ mod tests {
     fn fc_is_single_row_info() {
         let op = Op::fc(1024, 1000);
         let diags = analyze_op(&model(), &op, "test");
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].rule, RuleId::Utl002SingleRowGemm);
-        assert_eq!(diags[0].severity, Severity::Info);
+        let utl: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::Utl002SingleRowGemm)
+            .collect();
+        assert_eq!(utl.len(), 1);
+        assert_eq!(utl[0].severity, Severity::Info);
+        // A single-row GEMM is also compute-stall dominated: one row of a
+        // 64×64 array leaves > 98% of compute-phase PE slots idle.
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == RuleId::Utl003ComputeStallDominated
+                    && d.severity == Severity::Info)
+        );
+    }
+
+    #[test]
+    fn depthwise_is_compute_stall_dominated_but_fuse_is_not() {
+        let dw = Op::depthwise(56, 56, 64, 3, 1, 1);
+        let diags = analyze_op(&model(), &dw, "test");
+        let stall: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == RuleId::Utl003ComputeStallDominated)
+            .collect();
+        assert_eq!(stall.len(), 1);
+        assert_eq!(stall[0].severity, Severity::Info);
+        assert!(
+            stall[0].message.contains("compute-stall dominated"),
+            "{}",
+            stall[0].message
+        );
+
+        let fuse = Op::fuse1d(56, 56, 32, 3, 1, 1, Axis1d::Row);
+        let diags = analyze_op(&model(), &fuse, "test");
+        assert!(diags
+            .iter()
+            .all(|d| d.rule != RuleId::Utl003ComputeStallDominated));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 #![warn(missing_docs)]
 
 pub mod micro;
+pub mod suite;
 
 use fuseconv_systolic::ArrayConfig;
+use std::io::Write as _;
 
 /// The paper's evaluation array: 64×64 with row-broadcast links (§V-A-3).
 pub fn paper_array() -> ArrayConfig {
@@ -21,7 +23,7 @@ pub fn paper_array() -> ArrayConfig {
 
 /// Prints a banner separating regenerated artifacts in bench output.
 pub fn banner(title: &str) {
-    println!("\n=== {title} ===");
+    let _ = writeln!(std::io::stdout(), "\n=== {title} ===");
 }
 
 #[cfg(test)]

@@ -6,9 +6,12 @@
 //! `bench_with_input` and [`BenchmarkId`] mirroring the shapes the bench
 //! sources were written against. Timing is adaptive: each bench gets one
 //! calibration pass, then as many iterations as fit the per-bench budget
-//! (default 100 ms, overridable via `FUSECONV_BENCH_BUDGET_MS`).
+//! (default 100 ms, overridable via `FUSECONV_BENCH_BUDGET_MS`), spent as
+//! five equal batches of which the fastest is reported (min-of-5
+//! discards scheduler noise).
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 fn fmt_per_iter(ns: f64) -> String {
@@ -33,24 +36,44 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`: one untimed calibration pass sizes the iteration count
-    /// to the harness budget, then the timed loop runs.
+    /// to the harness budget, then the budget is spent as five equal
+    /// timed batches and the fastest batch wins — the min discards
+    /// scheduler/migration noise that a single long batch would fold
+    /// into its mean.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         let t0 = Instant::now();
         std::hint::black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
         let n = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
-        let t1 = Instant::now();
-        for _ in 0..n {
-            std::hint::black_box(f());
+        let per_batch = (n / 5).max(1);
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let t1 = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            best = best.min(t1.elapsed());
         }
-        self.total = t1.elapsed();
-        self.iters = n;
+        self.total = best;
+        self.iters = per_batch;
     }
+}
+
+/// The timing outcome of one completed bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full bench name (`group/label` for grouped benches).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Timed iterations the mean was taken over.
+    pub iters: u64,
 }
 
 /// The harness: a drop-in stand-in for `criterion::Criterion`.
 pub struct Micro {
     budget: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl Micro {
@@ -58,6 +81,7 @@ impl Micro {
     pub fn new() -> Self {
         Micro {
             budget: Duration::from_millis(100),
+            records: Vec::new(),
         }
     }
 
@@ -68,9 +92,25 @@ impl Micro {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(100);
+        Micro::with_budget_ms(ms)
+    }
+
+    /// A harness with an explicit per-bench budget in milliseconds.
+    pub fn with_budget_ms(ms: u64) -> Self {
         Micro {
             budget: Duration::from_millis(ms),
+            records: Vec::new(),
         }
+    }
+
+    /// Every completed bench's timing, in run order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// The most recently completed bench, if any.
+    pub fn last_record(&self) -> Option<&BenchRecord> {
+        self.records.last()
     }
 
     fn run(&mut self, name: &str, b: &mut Bencher) {
@@ -79,7 +119,13 @@ impl Micro {
         } else {
             b.total.as_nanos() as f64 / b.iters as f64
         };
-        println!(
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            ns_per_iter: ns,
+            iters: b.iters,
+        });
+        let _ = writeln!(
+            std::io::stdout(),
             "bench {name:<52} {:>12}/iter  (n={})",
             fmt_per_iter(ns),
             b.iters
@@ -162,11 +208,16 @@ impl BenchmarkId {
 mod tests {
     use super::*;
 
+    fn tiny() -> Micro {
+        Micro {
+            budget: Duration::from_millis(1),
+            records: Vec::new(),
+        }
+    }
+
     #[test]
     fn bencher_runs_and_counts_iterations() {
-        let mut h = Micro {
-            budget: Duration::from_millis(1),
-        };
+        let mut h = tiny();
         let mut count = 0u64;
         h.bench_function("noop", |b| {
             b.iter(|| {
@@ -174,13 +225,15 @@ mod tests {
             })
         });
         assert!(count >= 2, "calibration + at least one timed iteration");
+        let rec = h.last_record().unwrap();
+        assert_eq!(rec.name, "noop");
+        assert!(rec.iters >= 1);
+        assert!(rec.ns_per_iter >= 0.0);
     }
 
     #[test]
     fn groups_and_ids_compose() {
-        let mut h = Micro {
-            budget: Duration::from_millis(1),
-        };
+        let mut h = tiny();
         let mut g = h.benchmark_group("grp");
         g.bench_with_input(BenchmarkId::from_parameter(42), &3usize, |b, &x| {
             b.iter(|| x * 2)

@@ -4,7 +4,7 @@
 use std::fmt;
 
 /// Flags that take no value: `--name` alone means `--name true`.
-const SWITCHES: &[&str] = &["all"];
+const SWITCHES: &[&str] = &["all", "json"];
 
 /// A parsed command line: the subcommand and its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

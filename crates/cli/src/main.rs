@@ -14,6 +14,12 @@
 //!                    [--layer N] [--format scalesim|chrome|heatmap] [--out trace.json]
 //! fuseconv analyze   [--all | --network NAME] [--variant baseline|full|half]
 //!                    [--array 64] [--format text|json] [--out PATH]
+//! fuseconv perf      [--network MobileNet-V2] [--variant baseline|full|half]
+//!                    [--array 64] [--bytes-per-elem 2] [--bandwidth 64]
+//!                    [--format text|json] [--out PATH]
+//! fuseconv bench     [--json] [--out BENCH_fuseconv.json]
+//!                    [--baseline PATH] [--max-regress 25] [--budget-ms N]
+//!                    [--runs 1]
 //! fuseconv help
 //! ```
 
@@ -64,6 +70,16 @@ COMMANDS:
              tensor shape flow (SHP) — all before any simulation
              [--all | --network NAME] [--variant baseline|full|half]
              [--format text|json] [--out PATH]; exits nonzero on error findings
+  perf       cycle-accounted performance counters (fill/active/bubble/drain with
+             sum == total cycles), stall attribution and a roofline/efficiency
+             report from the analytic fold plans
+             [--network NAME] [--variant baseline|full|half] [--array 64]
+             [--bytes-per-elem 2] [--bandwidth 64] [--format text|json] [--out PATH]
+  bench      run the fixed micro-bench suite (simulators + analytic paths)
+             [--json] [--out BENCH_fuseconv.json] [--budget-ms N]
+             [--runs N] (per-bench min over N suite runs; default 1)
+             [--baseline PATH] [--max-regress 25]; with --baseline, exits
+             nonzero when a bench regresses past the geomean-normalized gate
   help       this text
 
 Common flag: --array N (square array side, default 64).";
@@ -371,6 +387,105 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             }
             Ok(())
         }
+        "perf" => {
+            let array = array_of(parsed)?;
+            let model = LatencyModel::new(array);
+            let name = parsed.flag("network").unwrap_or("MobileNet-V2");
+            let net = find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let variant = match parsed.flag("variant").unwrap_or("baseline") {
+                "baseline" => Variant::Baseline,
+                "full" => Variant::FuseFull,
+                "half" => Variant::FuseHalf,
+                other => {
+                    return Err(format!(
+                        "--variant must be baseline, full or half, got `{other}`"
+                    ))
+                }
+            };
+            let net = apply_variant(&net, variant, &array).map_err(|e| e.to_string())?;
+            let bytes_per_elem = parsed
+                .usize_flag("bytes-per-elem", 2)
+                .map_err(|e| e.to_string())?;
+            let bandwidth = parsed
+                .usize_flag("bandwidth", 64)
+                .map_err(|e| e.to_string())?;
+            if bandwidth == 0 {
+                return Err("--bandwidth must be nonzero".into());
+            }
+            let report = fuseconv_perf::network_perf_report(
+                &model,
+                &net,
+                &variant.to_string(),
+                bytes_per_elem as u64,
+                bandwidth as u64,
+            )
+            .map_err(|e| e.to_string())?;
+            let rendered = match parsed.flag("format").unwrap_or("text") {
+                "text" => report.to_text(),
+                "json" => report.to_json(),
+                other => return Err(format!("--format must be text or json, got `{other}`")),
+            };
+            match parsed.flag("out") {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("{path}");
+                }
+                None => println!("{}", rendered.trim_end()),
+            }
+            Ok(())
+        }
+        "bench" => {
+            let mut harness = match parsed.flag("budget-ms") {
+                Some(_) => fuseconv_bench::micro::Micro::with_budget_ms(
+                    parsed
+                        .usize_flag("budget-ms", 100)
+                        .map_err(|e| e.to_string())? as u64,
+                ),
+                None => fuseconv_bench::micro::Micro::from_env(),
+            };
+            let runs = parsed.usize_flag("runs", 1).map_err(|e| e.to_string())?;
+            if runs == 0 {
+                return Err("--runs must be at least 1".to_string());
+            }
+            // One-sided noise: a bench can only measure slower than the
+            // code allows, so the per-bench min over spaced runs is the
+            // robust estimate the gate should judge.
+            let all: Vec<_> = (0..runs)
+                .map(|_| fuseconv_bench::suite::run_suite(&mut harness))
+                .collect();
+            let results = fuseconv_bench::suite::min_merge(&all);
+            if parsed.flag("json").is_some() || parsed.flag("out").is_some() {
+                let path = parsed.flag("out").unwrap_or("BENCH_fuseconv.json");
+                std::fs::write(path, fuseconv_bench::suite::to_json(&results))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("{path}");
+            }
+            if let Some(base_path) = parsed.flag("baseline") {
+                let text = std::fs::read_to_string(base_path)
+                    .map_err(|e| format!("cannot read {base_path}: {e}"))?;
+                let baseline = fuseconv_bench::suite::parse_json(&text);
+                if baseline.is_empty() {
+                    return Err(format!("no benches parsed from baseline {base_path}"));
+                }
+                let max_regress = parsed
+                    .f64_flag("max-regress", 25.0)
+                    .map_err(|e| e.to_string())?;
+                let cmp = fuseconv_bench::suite::compare(&results, &baseline, max_regress);
+                println!("baseline comparison (fail above +{max_regress:.0}% of geomean):");
+                for line in &cmp.lines {
+                    println!("{line}");
+                }
+                if !cmp.passed() {
+                    return Err(format!(
+                        "{} bench(es) regressed past the {max_regress:.0}% gate: {}",
+                        cmp.failures.len(),
+                        cmp.failures.join(", ")
+                    ));
+                }
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`; try `fuseconv help`")),
     }
 }
@@ -540,6 +655,87 @@ mod tests {
         let text = std::fs::read_to_string(out).unwrap();
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
         assert!(text.contains("\"traceEvents\""));
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn perf_validates_inputs() {
+        assert!(run(&parsed(&["perf", "--network", "nope"])).is_err());
+        assert!(run(&parsed(&["perf", "--variant", "quarter"])).is_err());
+        assert!(run(&parsed(&["perf", "--format", "xml"])).is_err());
+        assert!(run(&parsed(&["perf", "--bandwidth", "0"])).is_err());
+    }
+
+    #[test]
+    fn perf_text_runs_on_small_array() {
+        assert!(run(&parsed(&[
+            "perf",
+            "--network",
+            "mobilenet-v1",
+            "--variant",
+            "half",
+            "--array",
+            "8"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn perf_writes_json_report() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("perf.json");
+        let out = out.to_str().unwrap();
+        assert!(run(&parsed(&[
+            "perf",
+            "--network",
+            "mobilenet-v2",
+            "--array",
+            "8",
+            "--format",
+            "json",
+            "--out",
+            out
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.contains("\"schema\": \"fuseconv-perf-v1\""), "{text}");
+        assert!(text.contains("\"compute_stall_fraction\""), "{text}");
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn bench_writes_json_and_gates_against_itself() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json");
+        let out = out.to_str().unwrap();
+        assert!(run(&parsed(&[
+            "bench",
+            "--json",
+            "--out",
+            out,
+            "--budget-ms",
+            "1"
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.contains("\"schema\": \"fuseconv-bench-v1\""), "{text}");
+        assert!(text.contains("\"cycles_per_sec\""), "{text}");
+        // A generous gate against the just-written baseline must pass even
+        // with 1 ms timing noise.
+        assert!(run(&parsed(&[
+            "bench",
+            "--baseline",
+            out,
+            "--max-regress",
+            "10000",
+            "--budget-ms",
+            "1"
+        ]))
+        .is_ok());
+        // Reading a missing baseline is an error.
+        assert!(run(&parsed(&["bench", "--baseline", "/nonexistent/b.json"])).is_err());
         std::fs::remove_file(out).unwrap();
     }
 

@@ -480,7 +480,11 @@ pub fn gate(model: &LatencyModel) -> Result<(), LatencyError> {
         let v = verdict_for(model);
         if let Err(e) = &v {
             if !cfg!(debug_assertions) {
-                eprintln!("warning: {e} (release build: continuing)");
+                use std::io::Write as _;
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "warning: {e} (release build: continuing)"
+                );
             }
         }
         v

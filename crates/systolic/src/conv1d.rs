@@ -120,6 +120,7 @@ pub fn simulate_traced(
 
     let wants_pe = sink.wants_pe_fires();
     let wants_ops = sink.wants_operand_events();
+    let wants_bcast = sink.wants_broadcast_events();
     for conv0 in (0..n_convs).step_by(cfg.rows()) {
         let ru = cfg.rows().min(n_convs - conv0);
         for col0 in (0..l_out).step_by(cfg.cols()) {
@@ -162,12 +163,14 @@ pub fn simulate_traced(
                     for c in 0..cu {
                         out[(conv0 + r) * l_out + (col0 + c)] += w * row_in[col0 + c + tap];
                     }
-                    if wants_ops {
+                    if wants_bcast {
                         sink.on_event(&TraceEvent::WeightBroadcast {
                             cycle,
                             row: r as u32,
                             tap: tap as u32,
                         });
+                    }
+                    if wants_ops {
                         sink.on_event(&TraceEvent::OperandRead {
                             cycle,
                             operand: Operand::Filter,
@@ -409,6 +412,7 @@ pub fn simulate_packed_traced(
 
     let wants_pe = sink.wants_pe_fires();
     let wants_ops = sink.wants_operand_events();
+    let wants_bcast = sink.wants_broadcast_events();
     for slot0 in (0..slots.len()).step_by(cfg.rows()) {
         let chunk = &slots[slot0..slots.len().min(slot0 + cfg.rows())];
         let ru = chunk.len();
@@ -452,12 +456,14 @@ pub fn simulate_packed_traced(
                 for (r, &(ch, l0, n_lines)) in chunk.iter().enumerate() {
                     let kernel = &work[ch].kernel;
                     let span = if lpr == 1 { 1 } else { n_lines };
-                    if wants_ops {
+                    if wants_bcast {
                         sink.on_event(&TraceEvent::WeightBroadcast {
                             cycle,
                             row: r as u32,
                             tap: tap as u32,
                         });
+                    }
+                    if wants_ops {
                         sink.on_event(&TraceEvent::OperandRead {
                             cycle,
                             operand: Operand::Filter,

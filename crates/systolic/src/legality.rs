@@ -406,7 +406,11 @@ pub fn gate(kind: DataflowKind, cfg: &ArrayConfig) -> Result<(), ConfigError> {
         {
             GATE_WARN_CLAIMS.fetch_add(1, Ordering::SeqCst);
             if !cfg!(debug_assertions) {
-                eprintln!("warning: {e} (release build: continuing)");
+                use std::io::Write as _;
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "warning: {e} (release build: continuing)"
+                );
             }
         }
     }

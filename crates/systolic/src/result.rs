@@ -67,12 +67,11 @@ impl SimResult {
         self.folds
     }
 
-    /// Fraction of PE·cycles spent on MACs, in `[0, 1]`.
+    /// Fraction of PE·cycles spent on MACs, in `[0, 1]` — the shared
+    /// [`fuseconv_trace::pe_utilization`] definition, so simulator results,
+    /// trace sinks and performance counters cannot disagree.
     pub fn utilization(&self) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
-        }
-        self.busy_pe_cycles as f64 / (self.cycles as f64 * self.pe_count as f64)
+        fuseconv_trace::pe_utilization(self.busy_pe_cycles, self.cycles, self.pe_count)
     }
 
     /// Busy-PE count for each simulated cycle, in order.

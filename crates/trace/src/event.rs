@@ -198,6 +198,16 @@ pub trait TraceSink {
     fn wants_operand_events(&self) -> bool {
         false
     }
+
+    /// Whether [`TraceEvent::WeightBroadcast`] ticks should be generated
+    /// even when the sink opts out of the (much more numerous) per-element
+    /// operand events. Defaults to following
+    /// [`TraceSink::wants_operand_events`], so existing sinks keep their
+    /// behaviour; counter sinks override this to track broadcast-link
+    /// activity cheaply.
+    fn wants_broadcast_events(&self) -> bool {
+        self.wants_operand_events()
+    }
 }
 
 /// The no-op sink: discards everything and opts out of all fine-grained

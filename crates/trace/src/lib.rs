@@ -34,10 +34,12 @@ mod chrome;
 mod event;
 mod replay;
 mod scalesim;
+mod util;
 mod utilization;
 
 pub use chrome::ChromeTraceSink;
 pub use event::{FoldKind, NullSink, Operand, Phase, TraceEvent, TraceSink, VecSink};
 pub use replay::{replay, FoldSpec};
 pub use scalesim::{ScaleSimSink, FILTER_BASE, IFMAP_BASE, OFMAP_BASE};
+pub use util::pe_utilization;
 pub use utilization::{FoldStats, UtilizationSink};

@@ -49,6 +49,7 @@ impl FoldSpec {
 /// fold cycles — by construction identical to the analytic latency model's
 /// estimate when the specs come from it).
 pub fn replay(specs: &[FoldSpec], sink: &mut dyn TraceSink) -> u64 {
+    let wants_broadcast = sink.wants_broadcast_events();
     let mut cycle = 0u64;
     for (fold, spec) in specs.iter().enumerate() {
         let fold = fold as u64;
@@ -74,6 +75,19 @@ pub fn replay(specs: &[FoldSpec], sink: &mut dyn TraceSink) -> u64 {
         let base = spec.macs.checked_div(spec.compute).unwrap_or(0);
         let extra = spec.macs.checked_rem(spec.compute).unwrap_or(0);
         for i in 0..spec.compute {
+            // A row-broadcast fold's compute phase is one weight-link tick
+            // per used row per cycle (its compute length is the kernel
+            // length, so `i` is the tap index) — replayed so counter sinks
+            // see the same broadcast activity the cycle simulator emits.
+            if wants_broadcast && spec.kind == FoldKind::RowBroadcast {
+                for row in 0..spec.rows_used {
+                    sink.on_event(&TraceEvent::WeightBroadcast {
+                        cycle,
+                        row,
+                        tap: i.min(u64::from(u32::MAX)) as u32,
+                    });
+                }
+            }
             let busy = base + u64::from(i < extra);
             sink.on_event(&TraceEvent::Cycle {
                 cycle,

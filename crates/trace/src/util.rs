@@ -1,0 +1,40 @@
+//! Shared utilization arithmetic.
+//!
+//! Every consumer of busy-PE counts — the simulator's `SimResult`, the
+//! [`UtilizationSink`](crate::UtilizationSink), the performance counters —
+//! must agree on what "utilization" means. This module is the single
+//! definition they all call, so the quantities cannot drift apart by
+//! construction.
+
+/// Fraction of PE·cycles spent performing MACs, in `[0, 1]`.
+///
+/// Defined as `busy_pe_cycles / (cycles · pe_count)`; an empty run
+/// (`cycles == 0`) or a zero-PE array reports `0.0` rather than NaN.
+pub fn pe_utilization(busy_pe_cycles: u64, cycles: u64, pe_count: usize) -> f64 {
+    if cycles == 0 || pe_count == 0 {
+        return 0.0;
+    }
+    busy_pe_cycles as f64 / (cycles as f64 * pe_count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_fraction() {
+        assert!((pe_utilization(40, 10, 8) - 0.5).abs() < 1e-12);
+        assert!((pe_utilization(8, 4, 6) - 8.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero_not_nan() {
+        assert_eq!(pe_utilization(0, 0, 8), 0.0);
+        assert_eq!(pe_utilization(5, 10, 0), 0.0);
+    }
+
+    #[test]
+    fn full_array_is_one() {
+        assert_eq!(pe_utilization(100, 10, 10), 1.0);
+    }
+}

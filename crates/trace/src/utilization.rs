@@ -79,10 +79,7 @@ impl UtilizationSink {
 
     /// Average fraction of the array doing useful work, in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
-        if self.per_cycle_busy.is_empty() {
-            return 0.0;
-        }
-        self.busy_pe_cycles() as f64 / (self.cycles() * (self.rows * self.cols) as u64) as f64
+        crate::pe_utilization(self.busy_pe_cycles(), self.cycles(), self.rows * self.cols)
     }
 
     /// The per-cycle busy-PE counts, in cycle order.

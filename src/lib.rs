@@ -15,6 +15,7 @@
 //! - [`train`] — layer-wise backprop trainer and synthetic dataset
 //! - [`trace`] — event tracing: SCALE-Sim CSVs, Chrome timelines, PE heatmaps
 //! - [`analyze`] — static dataflow-legality analyzer and workspace lints
+//! - [`perf`] — cycle-accounted performance counters and roofline reports
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +26,7 @@ pub use fuseconv_hwcost as hwcost;
 pub use fuseconv_latency as latency;
 pub use fuseconv_models as models;
 pub use fuseconv_nn as nn;
+pub use fuseconv_perf as perf;
 pub use fuseconv_ria as ria;
 pub use fuseconv_systolic as systolic;
 pub use fuseconv_tensor as tensor;
