@@ -14,7 +14,11 @@
 //!    comment on the same line justifying the suppression;
 //! 5. no bare `println!`/`eprintln!` in library-crate non-test code —
 //!    libraries report through return values and sinks, not stdio
-//!    (binaries, examples and tests are exempt).
+//!    (binaries, examples and tests are exempt);
+//! 6. no `std::time::Instant::now` in library-crate non-test code
+//!    outside `crates/telemetry` — host timing goes through
+//!    `fuseconv_telemetry::Stopwatch` (or spans) so one crate owns the
+//!    clock (binaries, examples and tests are exempt).
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -146,6 +150,30 @@ fn check_no_stdio_macros(root: &Path, rel: &str, findings: &mut Vec<String>) {
     }
 }
 
+/// Flags host-clock reads in a library file's non-test, non-comment
+/// code. Host timing must flow through `fuseconv_telemetry::Stopwatch`
+/// so profiler spans and bench timings share one clock discipline;
+/// `crates/telemetry` is the sanctioned home of the call and is skipped
+/// by the caller. The needle is assembled so this lint (a binary,
+/// itself exempt) never flags its own source when scanned.
+fn check_no_instant_now(root: &Path, rel: &str, findings: &mut Vec<String>) {
+    let needle = concat!("Instant", "::now(");
+    let source = read(&root.join(rel));
+    for (i, line) in non_test_code(&source).lines().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        if line.contains(needle) {
+            findings.push(format!(
+                "{rel}:{}: `{needle}...)` in library non-test code (time \
+                 through fuseconv_telemetry::Stopwatch; only crates/telemetry \
+                 reads the host clock)",
+                i + 1
+            ));
+        }
+    }
+}
+
 /// Every `crates/*/src/lib.rs`, sorted for stable output.
 fn crate_roots(root: &Path) -> Vec<String> {
     let mut out = Vec::new();
@@ -259,9 +287,9 @@ fn main() -> ExitCode {
         }
     }
     lib_dirs.sort();
-    for dir in lib_dirs {
+    for dir in &lib_dirs {
         let bin_dir = dir.join("bin");
-        for path in rs_files(&dir) {
+        for path in rs_files(dir) {
             if path.starts_with(&bin_dir) {
                 continue;
             }
@@ -274,10 +302,34 @@ fn main() -> ExitCode {
         }
     }
 
+    // Rule 6: host-clock discipline — only `crates/telemetry` may call
+    // `Instant::now`; every other library crate times through its
+    // `Stopwatch` (same library-crate set and binary exemptions as
+    // rule 5).
+    let telemetry_src = root.join("crates/telemetry/src");
+    for dir in &lib_dirs {
+        if *dir == telemetry_src {
+            continue;
+        }
+        let bin_dir = dir.join("bin");
+        for path in rs_files(dir) {
+            if path.starts_with(&bin_dir) {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            check_no_instant_now(&root, &rel, &mut findings);
+        }
+    }
+
     if findings.is_empty() {
         println!(
             "workspace-lint: {} crate roots, the latency/simulator sources, library \
-             stdio discipline, and all workspace/example/test suppressions are clean",
+             stdio and host-clock discipline, and all workspace/example/test \
+             suppressions are clean",
             roots.len() + 1
         );
         ExitCode::SUCCESS

@@ -348,14 +348,16 @@ impl Report {
         out
     }
 
-    /// Renders the report as one JSON document.
+    /// Renders the report as one JSON document, with run provenance
+    /// (`fuseconv-manifest-v1`) embedded under `"manifest"`.
     pub fn to_json(&self) -> String {
         let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
         format!(
-            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[{}],\"manifest\":{}}}",
             self.error_count(),
             self.warning_count(),
-            items.join(",")
+            items.join(","),
+            fuseconv_telemetry::RunManifest::capture().to_json_compact()
         )
     }
 }

@@ -293,6 +293,7 @@ pub fn analyze_network_with_budget(
     net: &Network,
     budget: &MemoryBudget,
 ) -> Report {
+    let _span = fuseconv_telemetry::span("analyze.network");
     let mut report = Report::new();
     let ops = net.ops();
 

@@ -1,4 +1,4 @@
-//! A minimal `std::time::Instant` micro-bench harness.
+//! A minimal stopwatch-based micro-bench harness.
 //!
 //! The workspace builds fully offline, so instead of Criterion the bench
 //! targets use this drop-in subset of its API: [`Micro`] stands in for
@@ -10,9 +10,10 @@
 //! five equal batches of which the fastest is reported (min-of-5
 //! discards scheduler noise).
 
+use fuseconv_telemetry::Stopwatch;
 use std::fmt::Display;
 use std::io::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn fmt_per_iter(ns: f64) -> String {
     if ns < 1e3 {
@@ -41,14 +42,14 @@ impl Bencher {
     /// scheduler/migration noise that a single long batch would fold
     /// into its mean.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         std::hint::black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
         let n = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
         let per_batch = (n / 5).max(1);
         let mut best = Duration::MAX;
         for _ in 0..5 {
-            let t1 = Instant::now();
+            let t1 = Stopwatch::start();
             for _ in 0..per_batch {
                 std::hint::black_box(f());
             }

@@ -72,6 +72,7 @@ fn record(h: &Micro, cycles: u64) -> SuiteBench {
 /// Panics only if a fixed-shape workload is rejected by the simulator —
 /// impossible without a simulator bug.
 pub fn run_suite(h: &mut Micro) -> Vec<SuiteBench> {
+    let _span = fuseconv_telemetry::span("bench.suite");
     let mut out = Vec::new();
     let cfg = ArrayConfig::new(16, 16)
         .expect("nonzero dims")
@@ -192,7 +193,9 @@ pub fn min_merge(runs: &[Vec<SuiteBench>]) -> Vec<SuiteBench> {
 }
 
 /// Renders suite results as `BENCH_fuseconv.json` (schema
-/// `fuseconv-bench-v1`).
+/// `fuseconv-bench-v1`), with run provenance (`fuseconv-manifest-v1`)
+/// embedded under `"manifest"`. [`parse_json`] ignores the manifest: its
+/// line prefixes (`"name":`, `"ns_per_iter":`) never occur in one.
 pub fn to_json(benches: &[SuiteBench]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"fuseconv-bench-v1\",");
@@ -207,7 +210,12 @@ pub fn to_json(benches: &[SuiteBench]) -> String {
         let _ = write!(out, "    }}");
         out.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
     }
-    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"manifest\": {}",
+        fuseconv_telemetry::RunManifest::capture().to_json_pretty("  ")
+    );
     out.push_str("}\n");
     out
 }

@@ -4,7 +4,9 @@
 use std::fmt;
 
 /// Flags that take no value: `--name` alone means `--name true`.
-const SWITCHES: &[&str] = &["all", "json"];
+/// (`--name=value` still works for these, which is how `profile`'s
+/// `--chrome-trace[=PATH]` / `--metrics-json[=PATH]` take optional paths.)
+const SWITCHES: &[&str] = &["all", "json", "chrome-trace", "metrics-json"];
 
 /// A parsed command line: the subcommand and its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -161,6 +163,13 @@ mod tests {
         let p = parse(&["analyze", "--all", "--format", "json"]).unwrap();
         assert_eq!(p.flag("all"), Some("true"));
         assert_eq!(p.flag("format"), Some("json"));
+    }
+
+    #[test]
+    fn switches_accept_optional_equals_value() {
+        let p = parse(&["profile", "--chrome-trace", "--metrics-json=m.json"]).unwrap();
+        assert_eq!(p.flag("chrome-trace"), Some("true"));
+        assert_eq!(p.flag("metrics-json"), Some("m.json"));
     }
 
     #[test]

@@ -20,8 +20,13 @@
 //! fuseconv bench     [--json] [--out BENCH_fuseconv.json]
 //!                    [--baseline PATH] [--max-regress 25] [--budget-ms N]
 //!                    [--runs 1]
+//! fuseconv profile   [NETWORK] [--variant baseline|full|half] [--array 64]
+//!                    [--chrome-trace[=PATH]] [--metrics-json[=PATH]]
 //! fuseconv help
 //! ```
+//!
+//! Every command also accepts `--log-level error|warn|info|debug|trace`
+//! (default `warn`) for the structured stderr logger.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,10 +40,11 @@ use fuseconv_core::nos;
 use fuseconv_core::report;
 use fuseconv_core::trace as tracecap;
 use fuseconv_core::variant::{apply_variant, Variant};
-use fuseconv_latency::{estimate_network, LatencyModel};
+use fuseconv_latency::{estimate_network, Dataflow, LatencyModel};
 use fuseconv_models::{topology, zoo, Network};
 use fuseconv_systolic::ArrayConfig;
-use fuseconv_trace::{ChromeTraceSink, ScaleSimSink, UtilizationSink};
+use fuseconv_telemetry as telemetry;
+use fuseconv_trace::{ChromeTraceSink, NullSink, ScaleSimSink, UtilizationSink};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -79,10 +85,22 @@ COMMANDS:
              [--json] [--out BENCH_fuseconv.json] [--budget-ms N]
              [--runs N] (per-bench min over N suite runs; default 1)
              [--baseline PATH] [--max-regress 25]; with --baseline, exits
-             nonzero when a bench regresses past the geomean-normalized gate
+             nonzero when a bench regresses past the geomean-normalized gate;
+             --out also writes run provenance to <out>.manifest.json
+  profile    profile the host-side pipeline (analyze + fold-plan replay +
+             a cycle-exact 1-D conv calibration sim + perf counters) for
+             one network: prints the aggregated span tree (total/self
+             wall-clock per span) and the metrics
+             registry   [NETWORK] [--variant baseline|full|half]
+             [--chrome-trace[=PATH]]  host spans as Chrome trace JSON
+                                      (default profile_trace.json)
+             [--metrics-json[=PATH]]  fuseconv-metrics-v1 snapshot
+                                      (default profile_metrics.json)
   help       this text
 
-Common flag: --array N (square array side, default 64).";
+Common flags: --array N (square array side, default 64);
+              --log-level error|warn|info|debug|trace (stderr logger,
+              default warn).";
 
 fn find_network(name: &str) -> Option<Network> {
     zoo::all_baselines()
@@ -93,9 +111,27 @@ fn find_network(name: &str) -> Option<Network> {
 
 fn array_of(parsed: &ParsedArgs) -> Result<ArrayConfig, String> {
     let side = parsed.usize_flag("array", 64).map_err(|e| e.to_string())?;
-    ArrayConfig::square(side)
+    let array = ArrayConfig::square(side)
         .map(|a| a.with_broadcast(true))
-        .map_err(|e| e.to_string())
+        .map_err(|e| e.to_string())?;
+    // Record the array in the process run-config so every manifest
+    // captured later in this invocation carries the real dimensions.
+    telemetry::manifest::set_run_array(
+        array.rows(),
+        array.cols(),
+        dataflow_name(Dataflow::OutputStationary),
+        array.has_broadcast(),
+    );
+    Ok(array)
+}
+
+/// Short manifest name for a dataflow.
+fn dataflow_name(d: Dataflow) -> &'static str {
+    match d {
+        Dataflow::OutputStationary => "os",
+        Dataflow::WeightStationary => "ws",
+        Dataflow::InputStationary => "is",
+    }
 }
 
 fn run(parsed: &ParsedArgs) -> Result<(), String> {
@@ -460,6 +496,13 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
                 std::fs::write(path, fuseconv_bench::suite::to_json(&results))
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("{path}");
+                // Standalone provenance sibling, so CI can archive the
+                // manifest next to the bench numbers it describes.
+                let mpath = format!("{path}.manifest.json");
+                let manifest = telemetry::RunManifest::capture().to_json_pretty("");
+                std::fs::write(&mpath, format!("{manifest}\n"))
+                    .map_err(|e| format!("cannot write {mpath}: {e}"))?;
+                println!("{mpath}");
             }
             if let Some(base_path) = parsed.flag("baseline") {
                 let text = std::fs::read_to_string(base_path)
@@ -486,24 +529,148 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             }
             Ok(())
         }
+        "profile" => {
+            let array = array_of(parsed)?;
+            let model = LatencyModel::new(array);
+            let name = parsed
+                .positional
+                .first()
+                .map(String::as_str)
+                .or_else(|| parsed.flag("network"))
+                .unwrap_or("MobileNet-V2");
+            let net = find_network(name).ok_or_else(|| format!("unknown network `{name}`"))?;
+            let variant = match parsed.flag("variant").unwrap_or("baseline") {
+                "baseline" => Variant::Baseline,
+                "full" => Variant::FuseFull,
+                "half" => Variant::FuseHalf,
+                other => {
+                    return Err(format!(
+                        "--variant must be baseline, full or half, got `{other}`"
+                    ))
+                }
+            };
+            let net = apply_variant(&net, variant, &array).map_err(|e| e.to_string())?;
+
+            // Fresh registry + profiler, enabled only around the profiled
+            // pipeline; the closure keeps error paths from leaving the
+            // process-wide profiler switched on.
+            telemetry::metrics::reset();
+            telemetry::span::reset();
+            telemetry::set_spans_enabled(true);
+            let profiled = (|| -> Result<(), String> {
+                let _root = telemetry::span("profile");
+                {
+                    let _s = telemetry::span("profile.analyze");
+                    let _ = analyze::analyze_network(&model, &net);
+                }
+                {
+                    let _s = telemetry::span("profile.plan");
+                    let plan = tracecap::network_fold_plan(&model, &net, None)
+                        .map_err(|e| e.to_string())?;
+                    fuseconv_trace::replay(&plan.folds, &mut NullSink);
+                }
+                {
+                    // Cycle-exact calibration: row-wise 1-D convolutions
+                    // filling the array — FuSeConv's core primitive — so
+                    // the sim.* counters and the throughput gauge reflect
+                    // real simulator work at this array size.
+                    let _s = telemetry::span("profile.sim");
+                    let width = 64 + 3;
+                    let lines: Vec<Vec<f32>> = (0..array.rows())
+                        .map(|r| (0..width).map(|i| ((r + i) % 7) as f32).collect())
+                        .collect();
+                    let kernels: Vec<Vec<f32>> =
+                        (0..array.rows()).map(|_| vec![1.0, 0.5, -1.0]).collect();
+                    fuseconv_perf::conv1d_counted(&array, &lines, &kernels)
+                        .map_err(|e| e.to_string())?;
+                }
+                let _s = telemetry::span("profile.perf");
+                fuseconv_perf::network_perf_report(&model, &net, &variant.to_string(), 2, 64)
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            })();
+            telemetry::set_spans_enabled(false);
+            profiled?;
+
+            // Host throughput: how many simulated cycles each host second
+            // of cycle-exact simulation buys at this array size.
+            let tree = telemetry::span_snapshot();
+            let sim_cycles = telemetry::counter("sim.cycles_total").get();
+            let sim_ns = tree
+                .find("profile/profile.sim")
+                .map_or(0, |n| n.total_ns)
+                .max(1);
+            let per_sec = (u128::from(sim_cycles) * 1_000_000_000) / u128::from(sim_ns);
+            telemetry::gauge("profile.sim_cycles_per_host_sec")
+                .set(i64::try_from(per_sec).unwrap_or(i64::MAX));
+
+            let metrics = telemetry::metrics_snapshot();
+            let manifest = telemetry::RunManifest::capture()
+                .with_array(array.rows(), array.cols(), array.has_broadcast())
+                .with_dataflow(dataflow_name(model.dataflow()));
+            println!(
+                "profile: {} [{variant}] on {}x{} — {} folds, {} sim cycles",
+                net.name(),
+                array.rows(),
+                array.cols(),
+                metrics.counter("sim.folds_total"),
+                sim_cycles,
+            );
+            println!("{}", tree.to_text().trim_end());
+            println!();
+            println!("{}", metrics.to_text().trim_end());
+            if let Some(value) = parsed.flag("chrome-trace") {
+                let path = if value == "true" {
+                    "profile_trace.json"
+                } else {
+                    value
+                };
+                std::fs::write(path, tree.chrome_trace_json(&manifest))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("{path}");
+            }
+            if let Some(value) = parsed.flag("metrics-json") {
+                let path = if value == "true" {
+                    "profile_metrics.json"
+                } else {
+                    value
+                };
+                std::fs::write(path, metrics.to_json(&manifest))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("{path}");
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`; try `fuseconv help`")),
     }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Seed run provenance with the full invocation before any artifact
+    // can capture a manifest.
+    telemetry::manifest::set_run_config(&argv.join(" "));
     let parsed = match ParsedArgs::parse(argv) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error: {e}");
+            telemetry::log::error("cli", &e.to_string());
             eprintln!("{HELP}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(value) = parsed.flag("log-level") {
+        match value.parse() {
+            Ok(level) => telemetry::log::set_max_level(level),
+            Err(e) => {
+                telemetry::log::error("cli", &e);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match run(&parsed) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            telemetry::log::error("cli", &e);
             ExitCode::FAILURE
         }
     }
@@ -737,6 +904,89 @@ mod tests {
         // Reading a missing baseline is an error.
         assert!(run(&parsed(&["bench", "--baseline", "/nonexistent/b.json"])).is_err());
         std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn profile_validates_inputs() {
+        assert!(run(&parsed(&["profile", "nope", "--array", "8"])).is_err());
+        assert!(run(&parsed(&[
+            "profile",
+            "--variant",
+            "quarter",
+            "--array",
+            "8"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn profile_prints_balanced_tree_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("profile_trace.json");
+        let metrics = dir.join("profile_metrics.json");
+        let trace_flag = format!("--chrome-trace={}", trace.display());
+        let metrics_flag = format!("--metrics-json={}", metrics.display());
+        assert!(run(&parsed(&[
+            "profile",
+            "mobilenet-v2",
+            "--variant",
+            "half",
+            "--array",
+            "8",
+            &trace_flag,
+            &metrics_flag
+        ]))
+        .is_ok());
+        // The aggregate left behind satisfies the balance invariant and
+        // contains the pipeline phases under the root span. (Concurrent
+        // tests may add unrelated roots; `find` pins the profile subtree.)
+        let tree = telemetry::span_snapshot();
+        assert!(tree.is_balanced(), "span tree lost balance");
+        let root = tree.find("profile").expect("missing profile root span");
+        assert_eq!(root.count, 1);
+        for phase in [
+            "profile.analyze",
+            "profile.plan",
+            "profile.sim",
+            "profile.perf",
+        ] {
+            assert!(
+                root.children.iter().any(|c| c.name == phase),
+                "missing phase span {phase}"
+            );
+        }
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"traceEvents\""), "{t}");
+        assert!(t.contains("\"manifest\":{\"schema\":\"fuseconv-manifest-v1\""));
+        assert_eq!(t.matches('{').count(), t.matches('}').count());
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"schema\": \"fuseconv-metrics-v1\""), "{m}");
+        assert!(m.contains("\"sim.cycles_total\""), "{m}");
+        assert!(m.contains("\"profile.sim_cycles_per_host_sec\""), "{m}");
+        // The calibration sim ran for real cycles, so the registry (reset
+        // at the start of the profile arm) counted some.
+        assert!(telemetry::counter("sim.cycles_total").get() > 0);
+        std::fs::remove_file(trace).unwrap();
+        std::fs::remove_file(metrics).unwrap();
+    }
+
+    #[test]
+    fn bench_out_writes_manifest_sibling() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-bench-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json");
+        let out = out.to_str().unwrap();
+        assert!(run(&parsed(&["bench", "--out", out, "--budget-ms", "1"])).is_ok());
+        let sibling = format!("{out}.manifest.json");
+        let text = std::fs::read_to_string(&sibling).unwrap();
+        assert!(
+            text.contains("\"schema\": \"fuseconv-manifest-v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"config_hash\": \"fnv1a64:"), "{text}");
+        std::fs::remove_file(out).unwrap();
+        std::fs::remove_file(sibling).unwrap();
     }
 
     #[test]

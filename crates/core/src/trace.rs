@@ -104,6 +104,7 @@ pub fn network_fold_plan(
     network: &Network,
     layer: Option<usize>,
 ) -> Result<NetworkPlan, TraceError> {
+    let _span = fuseconv_telemetry::span("trace.network_fold_plan");
     let ops = network.ops();
     let selected: Vec<usize> = match layer {
         Some(i) if i >= ops.len() => {
@@ -198,6 +199,7 @@ pub fn simulate_op_traced(
     op: &Op,
     sink: &mut dyn TraceSink,
 ) -> Result<TracedSim, TraceError> {
+    let _span = fuseconv_telemetry::span("trace.simulate_op");
     // Let the analytic model vet the operator first so both paths reject
     // exactly the same inputs.
     model.cycles(op)?;

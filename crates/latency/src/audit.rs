@@ -465,7 +465,8 @@ static VERDICTS: OnceLock<Mutex<HashMap<Key, Result<(), LatencyError>>>> = OnceL
 /// The first call per `(array, dataflow, batch)` configuration audits the
 /// probe plans and caches the verdict. Debug builds propagate a failed
 /// verdict as [`LatencyError::PlanAudit`] on every call; release builds
-/// print one warning per configuration when the verdict is first computed
+/// log one warning per configuration (through the telemetry logger,
+/// counted as `latency.gate_warnings`) when the verdict is first computed
 /// and then continue (the shipped planner passes the audit — the gate
 /// exists so a planner regression cannot silently produce latency numbers
 /// from a plan that no longer partitions the iteration space).
@@ -474,16 +475,17 @@ static VERDICTS: OnceLock<Mutex<HashMap<Key, Result<(), LatencyError>>>> = OnceL
 ///
 /// [`LatencyError::PlanAudit`] in debug builds when the audit fails.
 pub fn gate(model: &LatencyModel) -> Result<(), LatencyError> {
+    let _span = fuseconv_telemetry::span("latency.audit_gate");
     let cache = VERDICTS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
     let verdict = map.entry(key_of(model)).or_insert_with(|| {
         let v = verdict_for(model);
         if let Err(e) = &v {
+            fuseconv_telemetry::counter("latency.gate_warnings").inc();
             if !cfg!(debug_assertions) {
-                use std::io::Write as _;
-                let _ = writeln!(
-                    std::io::stderr(),
-                    "warning: {e} (release build: continuing)"
+                fuseconv_telemetry::log::warn(
+                    "latency::audit",
+                    &format!("{e} (release build: continuing)"),
                 );
             }
         }

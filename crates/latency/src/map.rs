@@ -296,6 +296,7 @@ impl LatencyModel {
     /// work, and [`LatencyError::ArithmeticOverflow`] when the cycle count
     /// does not fit in `u64`.
     pub fn cycles(&self, op: &Op) -> Result<u64, LatencyError> {
+        let _span = fuseconv_telemetry::span("latency.cycles");
         crate::audit::gate(self)?;
         self.cycles_ungated(op)
     }

@@ -182,8 +182,12 @@ impl LatencyModel {
     /// work, [`LatencyError::ArithmeticOverflow`] when the serial cycle
     /// total the plan describes does not fit `u64`.
     pub fn fold_plan(&self, op: &Op) -> Result<Vec<FoldSpec>, LatencyError> {
+        let _span = fuseconv_telemetry::span("latency.fold_plan");
         crate::audit::gate(self)?;
-        self.fold_plan_ungated(op)
+        let plan = self.fold_plan_ungated(op)?;
+        fuseconv_telemetry::counter("latency.folds_planned_total")
+            .add(u64::try_from(plan.len()).unwrap_or(u64::MAX));
+        Ok(plan)
     }
 
     /// [`LatencyModel::fold_plan`] without the plan-audit gate — used by

@@ -5,8 +5,9 @@
 
 use crate::counters::PerfCounters;
 use fuseconv_latency::memory::{network_traffic, roofline, Roofline, Traffic};
-use fuseconv_latency::{estimate_network, LatencyError, LatencyModel};
+use fuseconv_latency::{estimate_network, Dataflow, LatencyError, LatencyModel};
 use fuseconv_models::Network;
+use fuseconv_telemetry::RunManifest;
 use std::fmt::Write as _;
 
 /// Analytic performance counters for one operator of a network.
@@ -43,6 +44,9 @@ pub struct PerfReport {
     pub traffic: Traffic,
     /// Compute-vs-transfer roofline.
     pub roofline: Roofline,
+    /// Run provenance embedded in the JSON rendering
+    /// (`fuseconv-manifest-v1`).
+    pub manifest: RunManifest,
 }
 
 /// Builds the report for `network` on `model`'s array: per-op counters
@@ -66,6 +70,7 @@ pub fn network_perf_report(
     bytes_per_elem: u64,
     bytes_per_cycle: u64,
 ) -> Result<PerfReport, LatencyError> {
+    let _span = fuseconv_telemetry::span("perf.report");
     let (rows, cols) = (model.array().rows(), model.array().cols());
     let mut ops = Vec::new();
     for named in network.ops() {
@@ -79,6 +84,13 @@ pub fn network_perf_report(
     let traffic = network_traffic(model, network)?;
     let latency = estimate_network(model, network)?;
     let roofline = roofline(model, network, &latency, bytes_per_elem, bytes_per_cycle)?;
+    let manifest = RunManifest::capture()
+        .with_array(rows, cols, model.array().has_broadcast())
+        .with_dataflow(match model.dataflow() {
+            Dataflow::OutputStationary => "os",
+            Dataflow::WeightStationary => "ws",
+            Dataflow::InputStationary => "is",
+        });
     Ok(PerfReport {
         network: network.name().to_string(),
         variant: variant.to_string(),
@@ -89,6 +101,7 @@ pub fn network_perf_report(
         ops,
         traffic,
         roofline,
+        manifest,
     })
 }
 
@@ -406,7 +419,12 @@ impl PerfReport {
             let _ = write!(out, "    }}");
             out.push_str(if i + 1 < self.ops.len() { ",\n" } else { "\n" });
         }
-        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"manifest\": {}",
+            self.manifest.to_json_pretty("  ")
+        );
         out.push_str("}\n");
         out
     }

@@ -124,6 +124,7 @@ pub fn simulate_op_counted(
     model: &LatencyModel,
     op: &Op,
 ) -> Result<(TracedSim, PerfCounters), TraceError> {
+    let _span = fuseconv_telemetry::span("perf.sim_counted");
     let mut sink = CounterSink::new(model.array().rows(), model.array().cols());
     let traced = simulate_op_traced(model, op, &mut sink)?;
     let counters = audited(sink, &traced.sim);
@@ -138,6 +139,7 @@ pub fn simulate_op_counted(
 /// counted simulators whenever the specs came from
 /// [`LatencyModel::fold_plan`] for the same op.
 pub fn replay_counted(specs: &[FoldSpec], rows: usize, cols: usize) -> PerfCounters {
+    let _span = fuseconv_telemetry::span("perf.replay");
     let mut sink = CounterSink::new(rows, cols);
     let total = fuseconv_trace::replay(specs, &mut sink);
     let counters = sink.into_counters();

@@ -88,6 +88,7 @@ pub fn simulate_traced(
     kernels: &[Vec<f32>],
     sink: &mut dyn TraceSink,
 ) -> Result<SimResult, ConfigError> {
+    let _span = fuseconv_telemetry::span("sim.conv1d_bcast");
     if !cfg.has_broadcast() {
         return Err(ConfigError::BroadcastUnavailable);
     }
@@ -223,14 +224,16 @@ pub fn simulate_traced(
 
     let output = Tensor::from_vec(out, &[n_convs, l_out]).expect("nonzero dims");
     let macs = (n_convs * l_out * k) as u64;
-    Ok(SimResult::new(
+    let sim = SimResult::new(
         output,
         macs,
         busy_pe_cycles,
         cfg.pe_count(),
         folds,
         busy_trace,
-    ))
+    );
+    crate::record_sim_metrics(&sim);
+    Ok(sim)
 }
 
 /// Analytic total cycles for a batch of `n_convs` stride-1 1-D convolutions
@@ -353,6 +356,7 @@ pub fn simulate_packed_traced(
     work: &[ChannelLines],
     sink: &mut dyn TraceSink,
 ) -> Result<SimResult, ConfigError> {
+    let _span = fuseconv_telemetry::span("sim.conv1d_packed");
     if !cfg.has_broadcast() {
         return Err(ConfigError::BroadcastUnavailable);
     }
@@ -528,14 +532,16 @@ pub fn simulate_packed_traced(
 
     let output = Tensor::from_vec(out, &[n_ch * lines, l_out]).expect("nonzero dims");
     let macs = (n_ch * lines * l_out * k) as u64;
-    Ok(SimResult::new(
+    let sim = SimResult::new(
         output,
         macs,
         busy_pe_cycles,
         cfg.pe_count(),
         folds,
         busy_trace,
-    ))
+    );
+    crate::record_sim_metrics(&sim);
+    Ok(sim)
 }
 
 /// Analytic cycles of the packed mapping for `channels` channels of

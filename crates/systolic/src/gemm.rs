@@ -60,6 +60,7 @@ pub fn simulate_traced(
     b: &Tensor,
     sink: &mut dyn TraceSink,
 ) -> Result<SimResult, ConfigError> {
+    let _span = fuseconv_telemetry::span("sim.gemm_os");
     crate::legality::gate(crate::legality::DataflowKind::OutputStationary, cfg)?;
     let (ad, bd) = (a.shape().dims(), b.shape().dims());
     if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
@@ -170,14 +171,16 @@ pub fn simulate_traced(
 
     let output = Tensor::from_vec(out, &[m, n]).expect("m, n nonzero");
     let macs = (m * k * n) as u64;
-    Ok(SimResult::new(
+    let sim = SimResult::new(
         output,
         macs,
         busy_pe_cycles,
         cfg.pe_count(),
         folds,
         busy_trace,
-    ))
+    );
+    crate::record_sim_metrics(&sim);
+    Ok(sim)
 }
 
 /// Analytic total cycles for an `M×K·K×N` GEMM on the array — the closed

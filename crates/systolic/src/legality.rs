@@ -382,7 +382,10 @@ fn gate_warn_claims() -> usize {
 /// The legality gate every `simulate`/`simulate_traced` entry point runs
 /// before touching operands: verifies the canonical mapping of `kind` on
 /// `cfg`. Debug builds hard-error on an illegal mapping; release builds
-/// warn once per mapping on stderr and proceed.
+/// warn once per mapping through the telemetry logger and proceed.
+/// Cache hits/misses and claimed warnings are counted in the metrics
+/// registry (`legality.cache_hits` / `legality.cache_misses` /
+/// `legality.gate_warnings`).
 ///
 /// # Errors
 ///
@@ -396,7 +399,13 @@ pub fn gate(kind: DataflowKind, cfg: &ArrayConfig) -> Result<(), ConfigError> {
         DataflowKind::RowBroadcast => 3,
     };
     let col = usize::from(cfg.has_broadcast());
-    let cached = GATE_CACHE[row][col].get_or_init(|| gate_mapping(&canonical_mapping(kind), cfg));
+    let cell = &GATE_CACHE[row][col];
+    if cell.get().is_some() {
+        fuseconv_telemetry::counter("legality.cache_hits").inc();
+    } else {
+        fuseconv_telemetry::counter("legality.cache_misses").inc();
+    }
+    let cached = cell.get_or_init(|| gate_mapping(&canonical_mapping(kind), cfg));
     if let Err(e) = cached {
         // compare_exchange claims the mapping's flag exactly once across
         // every call site and cache cell.
@@ -405,11 +414,11 @@ pub fn gate(kind: DataflowKind, cfg: &ArrayConfig) -> Result<(), ConfigError> {
             .is_ok()
         {
             GATE_WARN_CLAIMS.fetch_add(1, Ordering::SeqCst);
+            fuseconv_telemetry::counter("legality.gate_warnings").inc();
             if !cfg!(debug_assertions) {
-                use std::io::Write as _;
-                let _ = writeln!(
-                    std::io::stderr(),
-                    "warning: {e} (release build: continuing)"
+                fuseconv_telemetry::log::warn(
+                    "systolic::legality",
+                    &format!("{e} (release build: continuing)"),
                 );
             }
         }

@@ -49,3 +49,14 @@ pub mod ws_gemm;
 
 pub use config::{ArrayConfig, ConfigError};
 pub use result::SimResult;
+
+/// Count one finished simulation in the process-wide metrics registry:
+/// `sim.runs_total`, `sim.cycles_total` (simulated cycles) and
+/// `sim.folds_total`. Every `simulate_traced` entry point calls this
+/// just before returning, so the registry's cycle total equals the sum
+/// of every returned [`SimResult::cycles`].
+fn record_sim_metrics(sim: &SimResult) {
+    fuseconv_telemetry::counter("sim.runs_total").inc();
+    fuseconv_telemetry::counter("sim.cycles_total").add(sim.cycles());
+    fuseconv_telemetry::counter("sim.folds_total").add(sim.folds());
+}

@@ -1,0 +1,386 @@
+//! Process-wide metrics registry: named counters, gauges, and log₂
+//! histograms with a deterministic snapshot API and a
+//! `fuseconv-metrics-v1` JSON rendering.
+//!
+//! Handles are `&'static` (leaked once per name, looked up in a
+//! `BTreeMap` behind a mutex) so hot paths touch only an atomic after
+//! the first lookup; callers on genuinely hot loops should hoist the
+//! handle out of the loop. Snapshots iterate the `BTreeMap`s, so
+//! rendering order is the metric-name order — deterministic across runs
+//! regardless of registration order.
+
+use crate::manifest::{json_escape, RunManifest};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Schema tag written into every rendered metrics snapshot.
+pub const METRICS_SCHEMA: &str = "fuseconv-metrics-v1";
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed level (e.g. a throughput estimate).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` counts samples whose value has
+/// `i` significant bits (bucket 0 holds value 0), so bucket upper
+/// bounds run 0, 1, 3, 7, … `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// Lock-free log₂ histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`] at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`Histogram`] bucket layout).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`q` in 0..=100), i.e. a value ≥ at least `q`% of samples.
+    #[must_use]
+    pub fn quantile_bound(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Ceiling rank so q=50 of 1 sample is rank 1, not rank 0.
+        let rank = (self.count * q).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds values with i significant bits:
+                // upper bound 2^i - 1 (bucket 0 holds exactly 0).
+                return if i >= 64 { u64::MAX } else { (1 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The three metric namespaces, keyed by registered name.
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    gauges: BTreeMap<&'static str, &'static Gauge>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Look up (or register) the counter named `name`.
+///
+/// The handle is `&'static`: hoist it out of hot loops to skip the
+/// registry lock on subsequent increments.
+#[must_use]
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.counters
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+}
+
+/// Look up (or register) the gauge named `name`.
+#[must_use]
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.gauges
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+}
+
+/// Look up (or register) the histogram named `name`.
+#[must_use]
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.histograms
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+}
+
+/// Zero every registered metric (handles stay valid). Used by the CLI
+/// `profile` subcommand to scope its report to one run.
+pub fn reset() {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for c in reg.counters.values() {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.values() {
+        g.0.store(0, Ordering::Relaxed);
+    }
+    for h in reg.histograms.values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.sum.store(0, Ordering::Relaxed);
+        h.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the whole registry, name-ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Snapshot every registered metric.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(name, c)| ((*name).to_owned(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(name, g)| ((*name).to_owned(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(name, h)| ((*name).to_owned(), h.snapshot()))
+            .collect(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter in this snapshot (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Pretty `fuseconv-metrics-v1` JSON with the given run manifest
+    /// embedded. Key order is fixed (schema, counters, gauges,
+    /// histograms, manifest); metric keys are name-ordered.
+    #[must_use]
+    pub fn to_json(&self, manifest: &RunManifest) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{METRICS_SCHEMA}\",");
+        let _ = writeln!(out, "  \"counters\": {{");
+        write_scalar_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"gauges\": {{");
+        write_scalar_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"histograms\": {{");
+        let n = self.histograms.len();
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}{comma}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile_bound(50),
+                h.quantile_bound(99),
+            );
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"manifest\": {}", manifest.to_json_pretty("  "));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable listing (counters, gauges, histogram summaries).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<40} n={} mean={} p50≤{} p99≤{}",
+                h.count,
+                h.mean(),
+                h.quantile_bound(50),
+                h.quantile_bound(99),
+            );
+        }
+        out
+    }
+}
+
+fn write_scalar_map<'a>(
+    out: &mut String,
+    entries: impl ExactSizeIterator<Item = (&'a String, String)>,
+) {
+    let n = entries.len();
+    for (i, (key, value)) in entries.enumerate() {
+        let comma = if i + 1 == n { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {value}{comma}", json_escape(key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_accumulates() {
+        let c = counter("test.metrics.counter_handle");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        // Same name resolves to the same handle.
+        assert_eq!(counter("test.metrics.counter_handle").get(), before + 5);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = gauge("test.metrics.gauge");
+        g.set(-3);
+        g.add(10);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_mean_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.mean(), 201);
+        // 0→bucket0, 1→bucket1, 2,3→bucket2, 1000→bucket10.
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.quantile_bound(50), 3); // rank 3 lands in bucket 2
+        assert_eq!(s.quantile_bound(99), 1023); // rank 5 in bucket 10
+    }
+
+    #[test]
+    fn snapshot_json_has_fixed_envelope() {
+        counter("test.metrics.json").add(2);
+        let snap = snapshot();
+        let json = snap.to_json(&RunManifest::capture());
+        assert!(json.starts_with("{\n  \"schema\": \"fuseconv-metrics-v1\","));
+        for key in ["counters", "gauges", "histograms", "manifest"] {
+            assert!(json.contains(&format!("\"{key}\": ")), "{key}");
+        }
+        assert!(json.contains("\"test.metrics.json\": "));
+        assert!(json.contains("\"schema\": \"fuseconv-manifest-v1\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -83,8 +83,10 @@ impl ChromeTraceSink {
     }
 
     /// Finishes the trace and renders the JSON document. Open row spans
-    /// are flushed and thread-name metadata is attached so viewers show
-    /// "folds" / "row r" track names.
+    /// are flushed, thread-name metadata is attached so viewers show
+    /// "folds" / "row r" track names, and run provenance
+    /// (`fuseconv-manifest-v1`) is embedded under a top-level
+    /// `"manifest"` key (viewers ignore unknown keys).
     pub fn into_json(mut self) -> String {
         for row in 0..self.row_spans.len() {
             self.flush_row(row);
@@ -103,8 +105,9 @@ impl ChromeTraceSink {
         }
         meta.extend(self.events);
         format!(
-            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
-            meta.join(",")
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}],\"manifest\":{}}}\n",
+            meta.join(","),
+            fuseconv_telemetry::RunManifest::capture().to_json_compact()
         )
     }
 
@@ -196,7 +199,9 @@ mod tests {
         assert!(json.contains("\"dur\":9"));
         assert!(json.contains("fold 0 [os 2x3]"));
         assert!(json.starts_with("{\"displayTimeUnit\""));
-        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("],\"manifest\":{\"schema\":\"fuseconv-manifest-v1\""));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -24,8 +24,10 @@
 //! model's per-fold plan, so whole-network traces reuse the sink code
 //! unchanged.
 //!
-//! The crate is dependency-free by design (its CSV and JSON writers are
-//! hand-rolled) and sits below every other workspace crate.
+//! The crate has no external dependencies by design (its CSV and JSON
+//! writers are hand-rolled) and sits below every other workspace crate
+//! except `fuseconv-telemetry`, which supplies the run manifest embedded
+//! in exported Chrome traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

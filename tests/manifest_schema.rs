@@ -1,0 +1,182 @@
+//! Golden-file regression test for the `fuseconv-manifest-v1` run
+//! provenance object. Every JSON artifact the workspace emits (perf
+//! reports, bench suites, analyze reports, Chrome traces, metrics
+//! snapshots) embeds a manifest under a top-level `"manifest"` key;
+//! `tests/golden/manifest_schema.json` pins its field set and order so a
+//! rename or removal shows up as a reviewable golden diff. Adding a field
+//! is the one additive change the golden file expects — append it to the
+//! `manifest_keys` list.
+
+use fuseconv::analyze::{analyze_network, Report};
+use fuseconv::latency::LatencyModel;
+use fuseconv::models::zoo;
+use fuseconv::perf::network_perf_report;
+use fuseconv::systolic::ArrayConfig;
+use fuseconv::telemetry::{RunManifest, MANIFEST_SCHEMA};
+use fuseconv::trace::{ChromeTraceSink, FoldKind, TraceEvent, TraceSink};
+use fuseconv_bench::micro::Micro;
+use fuseconv_bench::suite::{run_suite, to_json as bench_to_json};
+
+const GOLDEN: &str = include_str!("golden/manifest_schema.json");
+
+/// The quoted strings of one named golden array, e.g.
+/// `golden_list("manifest_keys")`.
+fn golden_list(name: &str) -> Vec<String> {
+    let start = GOLDEN
+        .find(&format!("\"{name}\""))
+        .unwrap_or_else(|| panic!("golden file lacks section `{name}`"));
+    let open = GOLDEN[start..].find('[').expect("section is an array") + start;
+    let close = GOLDEN[open..].find(']').expect("array closes") + open;
+    let mut out = Vec::new();
+    let mut rest = &GOLDEN[open + 1..close];
+    while let Some(q0) = rest.find('"') {
+        let q1 = rest[q0 + 1..].find('"').expect("string closes") + q0 + 1;
+        out.push(rest[q0 + 1..q1].to_string());
+        rest = &rest[q1 + 1..];
+    }
+    out
+}
+
+/// Distinct object keys found at a given brace depth of a JSON document
+/// (depth 1 = the outermost object), in first-appearance order. Works
+/// for both pretty (`"key": v`) and compact (`"key":v`) renderings.
+fn keys_at_depth(json: &str, target: usize) -> Vec<String> {
+    let bytes = json.as_bytes();
+    let mut keys: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let is_key = bytes.get(j + 1) == Some(&b':');
+                if is_key && depth == target {
+                    let key = json[start..j].to_string();
+                    if !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Extracts the (last) top-level `"manifest"` object of an artifact by
+/// brace matching. Manifest string fields never contain braces, so the
+/// count is exact.
+fn manifest_object(json: &str) -> String {
+    let at = json
+        .rfind("\"manifest\":")
+        .expect("artifact lacks a \"manifest\" key");
+    let open = json[at..].find('{').expect("manifest is an object") + at;
+    let mut depth = 0usize;
+    for (i, b) in json[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return json[open..=open + i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("manifest object never closes");
+}
+
+#[test]
+fn manifest_renderings_match_golden_schema() {
+    let golden = golden_list("manifest_keys");
+    let manifest = RunManifest::capture()
+        .with_config("test invocation")
+        .with_seed(7)
+        .with_array(8, 8, true)
+        .with_dataflow("os");
+    for json in [manifest.to_json_pretty(""), manifest.to_json_compact()] {
+        assert_eq!(
+            keys_at_depth(&json, 1),
+            golden,
+            "manifest field set changed"
+        );
+        assert!(json.contains(MANIFEST_SCHEMA));
+    }
+    assert!(manifest.config_hash().starts_with("fnv1a64:"));
+    assert_eq!(golden_list("schema_version"), vec![MANIFEST_SCHEMA]);
+}
+
+#[test]
+fn every_json_artifact_embeds_a_golden_manifest() {
+    let golden = golden_list("manifest_keys");
+    let array = ArrayConfig::square(8)
+        .expect("8 is nonzero")
+        .with_broadcast(true);
+    let model = LatencyModel::new(array);
+    let net = zoo::mobilenet_v2();
+
+    let mut artifacts: Vec<(&str, String)> = Vec::new();
+
+    let perf = network_perf_report(&model, &net, "baseline", 2, 64)
+        .expect("perf report")
+        .to_json();
+    artifacts.push(("perf report", perf));
+
+    let mut analysis = Report::new();
+    for d in analyze_network(&model, &net).diagnostics {
+        analysis.push(d);
+    }
+    artifacts.push(("analyze report", analysis.to_json()));
+
+    let mut sink = ChromeTraceSink::new();
+    sink.on_event(&TraceEvent::FoldStart {
+        fold: 0,
+        tag: 0,
+        cycle: 0,
+        kind: FoldKind::OutputStationary,
+        rows_used: 2,
+        cols_used: 2,
+    });
+    sink.on_event(&TraceEvent::FoldEnd { fold: 0, cycle: 4 });
+    artifacts.push(("chrome trace", sink.into_json()));
+
+    let mut harness = Micro::with_budget_ms(1);
+    let results = run_suite(&mut harness);
+    artifacts.push(("bench suite", bench_to_json(&results)));
+
+    fuseconv::telemetry::counter("test.manifest.counter").inc();
+    let snapshot = fuseconv::telemetry::metrics_snapshot();
+    artifacts.push((
+        "metrics snapshot",
+        snapshot.to_json(&RunManifest::capture()),
+    ));
+
+    let host_trace =
+        fuseconv::telemetry::span_snapshot().chrome_trace_json(&RunManifest::capture());
+    artifacts.push(("host chrome trace", host_trace));
+
+    for (name, json) in &artifacts {
+        let manifest = manifest_object(json);
+        assert_eq!(
+            keys_at_depth(&manifest, 1),
+            golden,
+            "{name}: embedded manifest diverged from tests/golden/manifest_schema.json"
+        );
+        assert!(
+            manifest.contains(MANIFEST_SCHEMA),
+            "{name}: manifest lacks the {MANIFEST_SCHEMA} tag"
+        );
+    }
+}

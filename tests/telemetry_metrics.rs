@@ -1,0 +1,63 @@
+//! Differential test for the simulator's metrics instrumentation: the
+//! registry's `sim.cycles_total` / `sim.runs_total` / `sim.folds_total`
+//! counters must advance by exactly what the returned [`SimResult`]s
+//! report, across every counted entry point (all five delegate to the
+//! instrumented `simulate_traced` simulators). Deltas (not absolutes)
+//! are asserted so the test is robust to other code in this binary
+//! having already driven the process-wide registry.
+
+use fuseconv::perf::{
+    conv1d_counted, conv1d_packed_counted, gemm_counted, is_gemm_counted, ws_gemm_counted,
+};
+use fuseconv::systolic::conv1d::ChannelLines;
+use fuseconv::systolic::ArrayConfig;
+use fuseconv::telemetry::counter;
+use fuseconv::tensor::Tensor;
+
+#[test]
+fn sim_counters_equal_sum_of_returned_sim_results() {
+    let cfg = ArrayConfig::square(8)
+        .expect("8 is nonzero")
+        .with_broadcast(true);
+    let a = Tensor::from_fn(&[6, 5], |i| (i[0] + 2 * i[1]) as f32 * 0.25).expect("tensor a");
+    let b = Tensor::from_fn(&[5, 7], |i| (3 * i[0] + i[1]) as f32 * 0.125).expect("tensor b");
+    let lines: Vec<Vec<f32>> = (0..4).map(|c| vec![0.5 + c as f32; 9]).collect();
+    let kernels: Vec<Vec<f32>> = (0..4).map(|c| vec![1.0, c as f32, -1.0]).collect();
+    let packed: Vec<ChannelLines> = (0..3)
+        .map(|c| ChannelLines {
+            lines: vec![vec![0.25 * (c + 1) as f32; 7]; 2],
+            kernel: vec![1.0, 0.0, -1.0],
+        })
+        .collect();
+
+    let before_cycles = counter("sim.cycles_total").get();
+    let before_runs = counter("sim.runs_total").get();
+    let before_folds = counter("sim.folds_total").get();
+
+    let mut cycles = 0u64;
+    let mut folds = 0u64;
+    let mut runs = 0u64;
+    let mut tally = |sim: &fuseconv::systolic::SimResult| {
+        cycles += sim.cycles();
+        folds += sim.folds();
+        runs += 1;
+    };
+    tally(&gemm_counted(&cfg, &a, &b).expect("os gemm").0);
+    tally(&ws_gemm_counted(&cfg, &a, &b).expect("ws gemm").0);
+    tally(&is_gemm_counted(&cfg, &a, &b).expect("is gemm").0);
+    tally(&conv1d_counted(&cfg, &lines, &kernels).expect("conv1d").0);
+    tally(
+        &conv1d_packed_counted(&cfg, &packed)
+            .expect("packed conv1d")
+            .0,
+    );
+    assert!(cycles > 0 && folds > 0);
+
+    assert_eq!(
+        counter("sim.cycles_total").get() - before_cycles,
+        cycles,
+        "sim.cycles_total diverged from the SimResults the simulators returned"
+    );
+    assert_eq!(counter("sim.runs_total").get() - before_runs, runs);
+    assert_eq!(counter("sim.folds_total").get() - before_folds, folds);
+}
