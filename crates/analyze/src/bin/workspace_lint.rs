@@ -18,7 +18,12 @@
 //! 6. no `std::time::Instant::now` in library-crate non-test code
 //!    outside `crates/telemetry` — host timing goes through
 //!    `fuseconv_telemetry::Stopwatch` (or spans) so one crate owns the
-//!    clock (binaries, examples and tests are exempt).
+//!    clock (binaries, examples and tests are exempt);
+//! 7. every `pub` item in `crates/serve` non-test code carries a `///`
+//!    doc comment — the serving simulator is the workspace's newest
+//!    public surface and `#![warn(missing_docs)]` alone only warns
+//!    (`pub use` re-exports and `pub(crate)` items are exempt; modules
+//!    document themselves with inner `//!` comments).
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -168,6 +173,46 @@ fn check_no_instant_now(root: &Path, rel: &str, findings: &mut Vec<String>) {
                 "{rel}:{}: `{needle}...)` in library non-test code (time \
                  through fuseconv_telemetry::Stopwatch; only crates/telemetry \
                  reads the host clock)",
+                i + 1
+            ));
+        }
+    }
+}
+
+/// Flags every `pub` item in a file's non-test code that lacks a `///`
+/// doc comment on the line above (attribute lines in between are
+/// skipped). `pub use` re-exports, `pub(crate)`/`pub(super)` visibility
+/// restrictions and `pub mod` declarations are exempt — re-exports
+/// inherit docs, restricted items are not public API, and modules carry
+/// inner `//!` docs.
+fn check_pub_docs(root: &Path, rel: &str, findings: &mut Vec<String>) {
+    let source = read(&root.join(rel));
+    let lines: Vec<&str> = non_test_code(&source).lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if !t.starts_with("pub ") || t.starts_with("pub use ") || t.starts_with("pub mod ") {
+            continue;
+        }
+        // Walk back over attributes to the nearest prose line; a doc
+        // comment there attaches to this item.
+        let mut j = i;
+        let documented = loop {
+            if j == 0 {
+                break false;
+            }
+            j -= 1;
+            let prev = lines[j].trim_start();
+            if prev.starts_with("///") {
+                break true;
+            }
+            if prev.starts_with("#[") || prev.ends_with(")]") || prev.ends_with(']') {
+                continue;
+            }
+            break false;
+        };
+        if !documented {
+            findings.push(format!(
+                "{rel}:{}: undocumented `pub` item (serve API requires /// docs)",
                 i + 1
             ));
         }
@@ -325,11 +370,21 @@ fn main() -> ExitCode {
         }
     }
 
+    // Rule 7: the serving simulator's public API is fully documented.
+    for path in rs_files(&root.join("crates/serve/src")) {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        check_pub_docs(&root, &rel, &mut findings);
+    }
+
     if findings.is_empty() {
         println!(
             "workspace-lint: {} crate roots, the latency/simulator sources, library \
-             stdio and host-clock discipline, and all workspace/example/test \
-             suppressions are clean",
+             stdio and host-clock discipline, serve API docs, and all \
+             workspace/example/test suppressions are clean",
             roots.len() + 1
         );
         ExitCode::SUCCESS

@@ -2,9 +2,10 @@
 //! `BENCH_fuseconv.json` trajectory file.
 //!
 //! Five cycle-exact simulator benches (one per dataflow plus the packed
-//! FuSe path) and two analytic benches (fold planning and counter replay)
-//! run under the [`crate::micro`] harness; each reports wall time per
-//! iteration *and* the simulated cycle count of its workload, giving a
+//! FuSe path), two analytic benches (fold planning and counter replay)
+//! and two serving-simulator benches (10k-request pod runs) run under
+//! the [`crate::micro`] harness; each reports wall time per iteration
+//! *and* the simulated cycle count of its workload, giving a
 //! machine-independent `cycles/sec` throughput figure.
 //!
 //! Regression gating normalizes per-bench ratios by the suite geomean
@@ -17,6 +18,7 @@ use fuseconv_latency::LatencyModel;
 use fuseconv_models::zoo;
 use fuseconv_nn::ops::Op;
 use fuseconv_perf::replay_counted;
+use fuseconv_serve as serve;
 use fuseconv_systolic::conv1d::ChannelLines;
 use fuseconv_systolic::{conv1d, gemm, is_gemm, ws_gemm, ArrayConfig};
 use fuseconv_tensor::rng::Rng;
@@ -162,6 +164,46 @@ pub fn run_suite(h: &mut Micro) -> Vec<SuiteBench> {
     let cycles: u64 = plan.iter().map(FoldSpec::cycles).sum();
     h.bench_function("analytic/counter_replay_depthwise", |ben| {
         ben.iter(|| replay_counted(&plan, 64, 64))
+    });
+    out.push(record(h, cycles));
+
+    // Serving-simulator benches: 10k requests through the discrete-event
+    // pod. Each iteration rebuilds the cost oracle too, so the figure
+    // covers the full `fuseconv serve` hot path; `cycles` is the pod
+    // makespan, giving the usual simulated-cycles/sec throughput.
+    let pod = serve::PodSpec::parse("16x16:os,8x8:ws").expect("valid pod");
+    let workload = serve::Workload::uniform(vec![
+        zoo::mobilenet_v3_small().transform_all(fuseconv_nn::FuSeVariant::Full)
+    ])
+    .expect("valid workload");
+    let fifo_cfg = serve::ServeConfig {
+        requests: 10_000,
+        ..serve::ServeConfig::default()
+    };
+    let cycles = serve::simulate(&pod, &workload, &fifo_cfg, None)
+        .expect("pod simulation runs")
+        .makespan_cycles;
+    h.bench_function("serve/fifo_10k_requests", |ben| {
+        ben.iter(|| serve::simulate(&pod, &workload, &fifo_cfg, None).expect("pod simulation runs"))
+    });
+    out.push(record(h, cycles));
+
+    let bucketed_cfg = serve::ServeConfig {
+        requests: 10_000,
+        policy: serve::BatchPolicy::Bucketed {
+            max_batch: 8,
+            max_wait: 50_000,
+        },
+        dispatch: serve::Dispatch::Sharded,
+        ..serve::ServeConfig::default()
+    };
+    let cycles = serve::simulate(&pod, &workload, &bucketed_cfg, None)
+        .expect("pod simulation runs")
+        .makespan_cycles;
+    h.bench_function("serve/bucketed_sharded_10k_requests", |ben| {
+        ben.iter(|| {
+            serve::simulate(&pod, &workload, &bucketed_cfg, None).expect("pod simulation runs")
+        })
     });
     out.push(record(h, cycles));
 
@@ -408,11 +450,12 @@ mod tests {
         let mut h = Micro::from_env();
         std::env::remove_var("FUSECONV_BENCH_BUDGET_MS");
         let results = run_suite(&mut h);
-        assert_eq!(results.len(), 7);
+        assert_eq!(results.len(), 9);
         assert!(results.iter().all(|b| b.cycles > 0));
         assert!(results.iter().all(|b| b.iters >= 1));
         let names: Vec<&str> = results.iter().map(|b| b.name.as_str()).collect();
         assert!(names.contains(&"sim/gemm_os"));
         assert!(names.contains(&"analytic/counter_replay_depthwise"));
+        assert!(names.contains(&"serve/fifo_10k_requests"));
     }
 }

@@ -22,6 +22,12 @@
 //!                    [--runs 1]
 //! fuseconv profile   [NETWORK] [--variant baseline|full|half] [--array 64]
 //!                    [--chrome-trace[=PATH]] [--metrics-json[=PATH]]
+//! fuseconv serve     [--pod 64x64:os,32x32:ws,...] [--networks NAME,...|zoo]
+//!                    [--variant baseline|full|half] [--requests N] [--load F]
+//!                    [--policy fifo|dynamic|bucketed] [--max-batch N] [--max-wait N]
+//!                    [--dispatch whole|sharded] [--preempt] [--high-frac F]
+//!                    [--queue-cap N] [--slo-mult F] [--seed N]
+//!                    [--format text|json] [--out PATH] [--chrome-trace[=PATH]]
 //! fuseconv help
 //! ```
 //!
@@ -42,6 +48,8 @@ use fuseconv_core::trace as tracecap;
 use fuseconv_core::variant::{apply_variant, Variant};
 use fuseconv_latency::{estimate_network, Dataflow, LatencyModel};
 use fuseconv_models::{topology, zoo, Network};
+use fuseconv_nn::FuSeVariant;
+use fuseconv_serve as serve;
 use fuseconv_systolic::ArrayConfig;
 use fuseconv_telemetry as telemetry;
 use fuseconv_trace::{ChromeTraceSink, NullSink, ScaleSimSink, UtilizationSink};
@@ -96,6 +104,18 @@ COMMANDS:
                                       (default profile_trace.json)
              [--metrics-json[=PATH]]  fuseconv-metrics-v1 snapshot
                                       (default profile_metrics.json)
+  serve      discrete-event pod simulation: N heterogeneous arrays behind a
+             request queue under open-loop Poisson-ish traffic, at analytic
+             (fold-plan oracle) speed — millions of requests in seconds
+             [--pod 64x64:os,32x32:ws,...]  arrays as ROWSxCOLS[:os|ws|is]
+             [--networks NAME,...|zoo] [--variant baseline|full|half]
+             [--requests N] [--load F]  offered load vs estimated capacity
+             [--policy fifo|dynamic|bucketed] [--max-batch N] [--max-wait N]
+             [--dispatch whole|sharded]  whole-array or LPT-sharded batches
+             [--preempt] [--high-frac F]  priority traffic + fold-level preemption
+             [--queue-cap N] [--slo-mult F] [--seed N]
+             [--format text|json] [--out PATH]
+             [--chrome-trace[=PATH]]  per-array lanes (default serve_trace.json)
   help       this text
 
 Common flags: --array N (square array side, default 64);
@@ -641,6 +661,114 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            let pod_spec = parsed
+                .flag("pod")
+                .unwrap_or("64x64:os,32x32:ws,16x16:os,8x8:os");
+            let pod = serve::PodSpec::parse(pod_spec).map_err(|e| e.to_string())?;
+            let names = parsed.flag("networks").unwrap_or("MobileNet-V2");
+            let mut networks: Vec<Network> = if names == "zoo" {
+                zoo::all_baselines()
+            } else {
+                names
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|name| {
+                        find_network(name.trim())
+                            .ok_or_else(|| format!("unknown network `{}`", name.trim()))
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            match parsed.flag("variant").unwrap_or("full") {
+                "baseline" => {}
+                "full" => {
+                    networks = networks
+                        .iter()
+                        .map(|n| n.transform_all(FuSeVariant::Full))
+                        .collect();
+                }
+                "half" => {
+                    networks = networks
+                        .iter()
+                        .map(|n| n.transform_all(FuSeVariant::Half))
+                        .collect();
+                }
+                other => {
+                    return Err(format!(
+                        "--variant must be baseline, full or half, got `{other}`"
+                    ))
+                }
+            }
+            let workload = serve::Workload::uniform(networks).map_err(|e| e.to_string())?;
+            let requests = parsed
+                .usize_flag("requests", 100_000)
+                .map_err(|e| e.to_string())?;
+            let max_batch = parsed
+                .usize_flag("max-batch", 8)
+                .map_err(|e| e.to_string())?;
+            let max_wait = parsed
+                .usize_flag("max-wait", 50_000)
+                .map_err(|e| e.to_string())?;
+            let policy_name = parsed.flag("policy").unwrap_or("fifo");
+            let policy = serve::BatchPolicy::parse(policy_name, max_batch, max_wait as u64)
+                .ok_or_else(|| {
+                    format!("--policy must be fifo, dynamic or bucketed, got `{policy_name}`")
+                })?;
+            let dispatch_name = parsed.flag("dispatch").unwrap_or("whole");
+            let dispatch = serve::Dispatch::parse(dispatch_name).ok_or_else(|| {
+                format!("--dispatch must be whole or sharded, got `{dispatch_name}`")
+            })?;
+            let preemption = parsed.flag("preempt").is_some();
+            let high_default = if preemption { 0.05 } else { 0.0 };
+            let cfg = serve::ServeConfig {
+                policy,
+                dispatch,
+                preemption,
+                queue_capacity: parsed
+                    .usize_flag("queue-cap", 4096)
+                    .map_err(|e| e.to_string())?,
+                requests: requests as u64,
+                load: parsed.f64_flag("load", 0.8).map_err(|e| e.to_string())?,
+                seed: parsed.usize_flag("seed", 42).map_err(|e| e.to_string())? as u64,
+                high_priority_frac: parsed
+                    .f64_flag("high-frac", high_default)
+                    .map_err(|e| e.to_string())?,
+                slo_multiplier: parsed
+                    .f64_flag("slo-mult", 10.0)
+                    .map_err(|e| e.to_string())?,
+            };
+            telemetry::manifest::set_run_seed(cfg.seed);
+            let mut sink = parsed
+                .flag("chrome-trace")
+                .map(|_| serve::PodTraceSink::new(&pod));
+            let report =
+                serve::simulate(&pod, &workload, &cfg, sink.as_mut()).map_err(|e| e.to_string())?;
+            let rendered = match parsed.flag("format").unwrap_or("text") {
+                "text" => report.to_text(),
+                "json" => report.to_json(),
+                other => return Err(format!("--format must be text or json, got `{other}`")),
+            };
+            match parsed.flag("out") {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("{path}");
+                }
+                None => println!("{}", rendered.trim_end()),
+            }
+            if let Some(sink) = sink {
+                let value = parsed.flag("chrome-trace").unwrap_or("true");
+                let path = if value == "true" {
+                    "serve_trace.json"
+                } else {
+                    value
+                };
+                std::fs::write(path, sink.into_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("{path}");
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`; try `fuseconv help`")),
     }
 }
@@ -987,6 +1115,80 @@ mod tests {
         assert!(text.contains("\"config_hash\": \"fnv1a64:"), "{text}");
         std::fs::remove_file(out).unwrap();
         std::fs::remove_file(sibling).unwrap();
+    }
+
+    #[test]
+    fn serve_validates_inputs() {
+        assert!(run(&parsed(&["serve", "--pod", "64x64:xx"])).is_err());
+        assert!(run(&parsed(&["serve", "--networks", "nope"])).is_err());
+        assert!(run(&parsed(&["serve", "--variant", "quarter"])).is_err());
+        assert!(run(&parsed(&["serve", "--policy", "lifo"])).is_err());
+        assert!(run(&parsed(&["serve", "--dispatch", "split"])).is_err());
+        assert!(run(&parsed(&["serve", "--format", "xml"])).is_err());
+        assert!(run(&parsed(&["serve", "--requests", "0"])).is_err());
+        assert!(run(&parsed(&["serve", "--load", "0"])).is_err());
+        assert!(run(&parsed(&["serve", "--preempt", "--dispatch", "sharded"])).is_err());
+    }
+
+    #[test]
+    fn serve_text_runs_on_a_small_pod() {
+        assert!(run(&parsed(&[
+            "serve",
+            "--pod",
+            "16x16:os,8x8:ws",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "500",
+            "--policy",
+            "dynamic",
+            "--max-batch",
+            "4",
+            "--max-wait",
+            "10000"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn serve_writes_json_report_and_chrome_trace() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("serve.json");
+        let out = out.to_str().unwrap();
+        let trace = dir.join("serve_trace.json");
+        let trace = trace.to_str().unwrap();
+        let trace_flag = format!("--chrome-trace={trace}");
+        assert!(run(&parsed(&[
+            "serve",
+            "--pod",
+            "16x16:os,8x8:os",
+            "--networks",
+            "mobilenet-v1,mobilenet-v2",
+            "--requests",
+            "400",
+            "--seed",
+            "7",
+            "--format",
+            "json",
+            "--out",
+            out,
+            &trace_flag
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.contains("\"schema\": \"fuseconv-serve-v1\""), "{text}");
+        assert!(text.contains("\"results_fnv1a64\": \"fnv1a64:"), "{text}");
+        assert!(
+            text.contains("\"schema\": \"fuseconv-manifest-v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"seed\": 7"), "{text}");
+        let tr = std::fs::read_to_string(trace).unwrap();
+        assert!(tr.contains("\"traceEvents\""), "{tr}");
+        assert!(tr.contains("array 0: 16x16:os"), "{tr}");
+        std::fs::remove_file(out).unwrap();
+        std::fs::remove_file(trace).unwrap();
     }
 
     #[test]

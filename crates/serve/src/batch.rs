@@ -1,0 +1,355 @@
+//! Pluggable batching policies and the request queue.
+//!
+//! Internally the queue keeps one FIFO bucket per network (requests of
+//! one network share every layer shape, so only same-network requests
+//! can co-batch) plus a dedicated high-priority lane that bypasses
+//! batching entirely. The policies differ in *which* bucket launches
+//! and *when*:
+//!
+//! * [`BatchPolicy::Fifo`] — strict arrival order, batch size 1;
+//! * [`BatchPolicy::Dynamic`] — arrival-order fair: the bucket holding
+//!   the oldest request launches, but only once it is full
+//!   (`max_batch`) or its head has waited `max_wait` cycles;
+//! * [`BatchPolicy::Bucketed`] — throughput-greedy: any full bucket
+//!   launches first (deepest wins), otherwise the oldest expired head.
+//!
+//! `Dynamic` and `Bucketed` trade queueing delay for the sub-linear
+//! batch cost of [`crate::oracle::CostOracle::request_cycles`].
+
+use std::collections::VecDeque;
+
+/// When and how queued requests coalesce into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// One request per launch, strict arrival order.
+    Fifo,
+    /// Arrival-order-fair dynamic batching: launch the oldest bucket
+    /// when full or when its head request has waited long enough.
+    Dynamic {
+        /// Largest batch a single launch may carry.
+        max_batch: usize,
+        /// Longest a batch head may wait before launching partial,
+        /// cycles.
+        max_wait: u64,
+    },
+    /// Shape-bucketed batching: prefer any full bucket (deepest
+    /// first), fall back to expired heads.
+    Bucketed {
+        /// Largest batch a single launch may carry.
+        max_batch: usize,
+        /// Longest a batch head may wait before launching partial,
+        /// cycles.
+        max_wait: u64,
+    },
+}
+
+impl BatchPolicy {
+    /// Parses a policy name with parameters supplied separately:
+    /// `fifo`, `dynamic` or `bucketed`.
+    pub fn parse(name: &str, max_batch: usize, max_wait: u64) -> Option<BatchPolicy> {
+        let max_batch = max_batch.max(1);
+        match name {
+            "fifo" => Some(BatchPolicy::Fifo),
+            "dynamic" => Some(BatchPolicy::Dynamic {
+                max_batch,
+                max_wait,
+            }),
+            "bucketed" => Some(BatchPolicy::Bucketed {
+                max_batch,
+                max_wait,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The policy's short name (`fifo` / `dynamic` / `bucketed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchPolicy::Fifo => "fifo",
+            BatchPolicy::Dynamic { .. } => "dynamic",
+            BatchPolicy::Bucketed { .. } => "bucketed",
+        }
+    }
+}
+
+/// One queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending {
+    /// Monotone request id (arrival order).
+    pub id: u64,
+    /// Index into the workload's network list.
+    pub net: usize,
+    /// Arrival time, cycles.
+    pub arrived: u64,
+    /// High-priority tag (served from the priority lane).
+    pub high_priority: bool,
+}
+
+/// A launched batch: same-network requests served by one array (or one
+/// shard plan) in a single pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Network index all members share.
+    pub net: usize,
+    /// Member requests, arrival order.
+    pub requests: Vec<Pending>,
+    /// Whether the batch came off the high-priority lane.
+    pub high_priority: bool,
+}
+
+/// Bounded request queue with per-network buckets and a priority lane.
+#[derive(Debug)]
+pub struct RequestQueue {
+    policy: BatchPolicy,
+    capacity: usize,
+    buckets: Vec<VecDeque<Pending>>,
+    high: VecDeque<Pending>,
+    len: usize,
+}
+
+impl RequestQueue {
+    /// An empty queue for `nets` networks holding at most `capacity`
+    /// requests under `policy`.
+    pub fn new(policy: BatchPolicy, capacity: usize, nets: usize) -> Self {
+        RequestQueue {
+            policy,
+            capacity: capacity.max(1),
+            buckets: (0..nets).map(|_| VecDeque::new()).collect(),
+            high: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Requests currently queued (all lanes).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Admits `p`, or rejects it when the queue is at capacity.
+    /// Returns `true` on admit.
+    pub fn push(&mut self, p: Pending) -> bool {
+        if self.len >= self.capacity {
+            return false;
+        }
+        self.len += 1;
+        if p.high_priority {
+            self.high.push_back(p);
+        } else {
+            self.buckets[p.net].push_back(p);
+        }
+        true
+    }
+
+    /// Index of the bucket whose head arrived first (ties break toward
+    /// the lower id, which is the same ordering).
+    fn oldest_bucket(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.front().map(|p| (p.arrived, p.id, i)))
+            .min()
+            .map(|(_, _, i)| i)
+    }
+
+    fn drain_bucket(&mut self, bucket: usize, take: usize) -> Batch {
+        let mut requests = Vec::with_capacity(take);
+        for _ in 0..take {
+            if let Some(p) = self.buckets[bucket].pop_front() {
+                self.len -= 1;
+                requests.push(p);
+            }
+        }
+        Batch {
+            net: bucket,
+            requests,
+            high_priority: false,
+        }
+    }
+
+    /// Pops the next ready batch under the queue's policy, or `None`
+    /// when nothing may launch yet. The high-priority lane always
+    /// launches first, one request at a time, regardless of policy.
+    pub fn pop_batch(&mut self, now: u64) -> Option<Batch> {
+        if let Some(p) = self.high.pop_front() {
+            self.len -= 1;
+            return Some(Batch {
+                net: p.net,
+                requests: vec![p],
+                high_priority: true,
+            });
+        }
+        match self.policy {
+            BatchPolicy::Fifo => {
+                let bucket = self.oldest_bucket()?;
+                Some(self.drain_bucket(bucket, 1))
+            }
+            BatchPolicy::Dynamic {
+                max_batch,
+                max_wait,
+            } => {
+                let bucket = self.oldest_bucket()?;
+                let depth = self.buckets[bucket].len();
+                let head = self.buckets[bucket].front().copied()?;
+                if depth >= max_batch || now >= head.arrived.saturating_add(max_wait) {
+                    Some(self.drain_bucket(bucket, depth.min(max_batch)))
+                } else {
+                    None
+                }
+            }
+            BatchPolicy::Bucketed {
+                max_batch,
+                max_wait,
+            } => {
+                // Any full bucket: deepest first, oldest head breaks ties.
+                let full = self
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.len() >= max_batch)
+                    .filter_map(|(i, b)| {
+                        b.front()
+                            .map(|p| (std::cmp::Reverse(b.len()), p.arrived, p.id, i))
+                    })
+                    .min()
+                    .map(|(_, _, _, i)| i);
+                if let Some(bucket) = full {
+                    return Some(self.drain_bucket(bucket, max_batch));
+                }
+                // Otherwise the oldest expired head launches partial.
+                let expired = self
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| b.front().map(|p| (p.arrived, p.id, i)))
+                    .filter(|&(arrived, _, _)| now >= arrived.saturating_add(max_wait))
+                    .min()
+                    .map(|(_, _, i)| i);
+                expired.map(|bucket| {
+                    let take = self.buckets[bucket].len().min(max_batch);
+                    self.drain_bucket(bucket, take)
+                })
+            }
+        }
+    }
+
+    /// The earliest future time at which a currently-unready batch
+    /// becomes launchable by timeout, if any. `None` for FIFO (always
+    /// ready) and for empty queues.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let max_wait = match self.policy {
+            BatchPolicy::Fifo => return None,
+            BatchPolicy::Dynamic { max_wait, .. } | BatchPolicy::Bucketed { max_wait, .. } => {
+                max_wait
+            }
+        };
+        self.buckets
+            .iter()
+            .filter_map(|b| b.front().map(|p| p.arrived.saturating_add(max_wait)))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: u64, net: usize, arrived: u64) -> Pending {
+        Pending {
+            id,
+            net,
+            arrived,
+            high_priority: false,
+        }
+    }
+
+    #[test]
+    fn fifo_serves_in_arrival_order_across_buckets() {
+        let mut q = RequestQueue::new(BatchPolicy::Fifo, 16, 2);
+        q.push(p(0, 1, 5));
+        q.push(p(1, 0, 7));
+        q.push(p(2, 1, 9));
+        let a = q.pop_batch(10).expect("ready");
+        assert_eq!((a.net, a.requests[0].id), (1, 0));
+        let b = q.pop_batch(10).expect("ready");
+        assert_eq!((b.net, b.requests[0].id), (0, 1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn dynamic_waits_for_full_batch_or_deadline() {
+        let policy = BatchPolicy::Dynamic {
+            max_batch: 3,
+            max_wait: 100,
+        };
+        let mut q = RequestQueue::new(policy, 16, 2);
+        q.push(p(0, 0, 10));
+        q.push(p(1, 0, 20));
+        assert!(q.pop_batch(50).is_none(), "neither full nor expired");
+        assert_eq!(q.next_deadline(), Some(110));
+        q.push(p(2, 0, 60));
+        let full = q.pop_batch(61).expect("full batch launches");
+        assert_eq!(full.requests.len(), 3);
+        // A lone straggler launches at its deadline.
+        q.push(p(3, 1, 70));
+        assert!(q.pop_batch(100).is_none());
+        let partial = q.pop_batch(170).expect("expired head launches");
+        assert_eq!(partial.requests.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucketed_prefers_the_deepest_full_bucket() {
+        let policy = BatchPolicy::Bucketed {
+            max_batch: 2,
+            max_wait: 1000,
+        };
+        let mut q = RequestQueue::new(policy, 16, 2);
+        // Bucket 1's head is older, but bucket 0 fills up first... both
+        // full: equal depth after cap, so the older head (net 1) wins.
+        q.push(p(0, 1, 5));
+        q.push(p(1, 0, 6));
+        q.push(p(2, 0, 7));
+        q.push(p(3, 1, 8));
+        let first = q.pop_batch(9).expect("full bucket");
+        assert_eq!(first.net, 1);
+        let second = q.pop_batch(9).expect("other full bucket");
+        assert_eq!(second.net, 0);
+        assert_eq!(second.requests.len(), 2);
+    }
+
+    #[test]
+    fn high_priority_lane_bypasses_batching() {
+        let policy = BatchPolicy::Dynamic {
+            max_batch: 8,
+            max_wait: 1_000_000,
+        };
+        let mut q = RequestQueue::new(policy, 16, 1);
+        q.push(p(0, 0, 1));
+        q.push(Pending {
+            id: 1,
+            net: 0,
+            arrived: 2,
+            high_priority: true,
+        });
+        let b = q.pop_batch(3).expect("priority lane is always ready");
+        assert!(b.high_priority);
+        assert_eq!(b.requests.len(), 1);
+        assert_eq!(b.requests[0].id, 1);
+        assert!(q.pop_batch(3).is_none(), "normal lane still waits");
+    }
+
+    #[test]
+    fn capacity_bounds_admission() {
+        let mut q = RequestQueue::new(BatchPolicy::Fifo, 2, 1);
+        assert!(q.push(p(0, 0, 1)));
+        assert!(q.push(p(1, 0, 2)));
+        assert!(!q.push(p(2, 0, 3)), "third request is dropped");
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,875 @@
+//! The discrete-event serving engine.
+//!
+//! A single [`std::collections::BinaryHeap`] orders events by
+//! `(time, seq)` — `seq` is a monotone tie-breaker, so simultaneous
+//! events pop in creation order and the whole simulation is a pure
+//! function of its inputs. The clock is `u64` array cycles. Arrivals
+//! are generated lazily (one outstanding at a time), so the heap stays
+//! O(pod size) deep no matter how many requests are simulated.
+//!
+//! Event kinds:
+//!
+//! * **Arrival** — admit (or drop) a request, draw the next arrival,
+//!   try to dispatch;
+//! * **ArrayDone** — an array finished its batch; stale generations
+//!   (preempted batches) are ignored;
+//! * **PodDone** — a sharded batch's slowest share finished;
+//! * **Deadline** — a batching max-wait expired; re-run dispatch.
+//!
+//! Dispatch picks, per launched batch, the idle array with the lowest
+//! analytic cost for that network/batch size ([`crate::CostOracle`]).
+//! Under [`Dispatch::Sharded`] the whole pod serves one batch at a
+//! time via the oracle's LPT shard plan. Optional preemption lets a
+//! high-priority arrival evict the least-urgent running batch at fold
+//! granularity: the victim's remaining cycles (plus a `rows + cols`
+//! pipeline-refill penalty) re-enter a resume queue served ahead of
+//! normal traffic.
+
+use crate::batch::{Batch, BatchPolicy, Pending, RequestQueue};
+use crate::oracle::CostOracle;
+use crate::report::{ArrayReport, LatencyStats, NetworkReport, QueueStats, ServeReport};
+use crate::spec::{PodSpec, ServeError};
+use crate::trace::PodTraceSink;
+use crate::traffic::{TrafficGen, Workload};
+use fuseconv_telemetry::RunManifest;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How a request's work maps onto the pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Each batch runs whole on a single array (the cheapest idle
+    /// one); arrays serve independent batches concurrently.
+    Whole,
+    /// Each batch's ops are LPT-sharded across every array; the pod
+    /// serves one batch at a time and the batch finishes with its
+    /// slowest share.
+    Sharded,
+}
+
+impl Dispatch {
+    /// Parses `whole` / `sharded`.
+    pub fn parse(name: &str) -> Option<Dispatch> {
+        match name {
+            "whole" => Some(Dispatch::Whole),
+            "sharded" => Some(Dispatch::Sharded),
+            _ => None,
+        }
+    }
+
+    /// The mode's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dispatch::Whole => "whole",
+            Dispatch::Sharded => "sharded",
+        }
+    }
+}
+
+/// Everything that parameterises one pod simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Dispatch mode.
+    pub dispatch: Dispatch,
+    /// Whether high-priority arrivals may preempt running batches
+    /// (whole dispatch only).
+    pub preemption: bool,
+    /// Queue admission bound; arrivals beyond it are dropped.
+    pub queue_capacity: usize,
+    /// Requests to generate.
+    pub requests: u64,
+    /// Offered load as a fraction of estimated pod capacity (1.0
+    /// saturates; >1.0 overloads).
+    pub load: f64,
+    /// PRNG seed for the arrival process.
+    pub seed: u64,
+    /// Fraction of requests tagged high priority.
+    pub high_priority_frac: f64,
+    /// SLO target multiplier over each network's best isolated
+    /// batch-1 service time.
+    pub slo_multiplier: f64,
+}
+
+impl ServeConfig {
+    /// Sensible defaults: FIFO, whole dispatch, no preemption, queue
+    /// capacity 4096, 100 000 requests at 80 % load, seed 42, SLO at
+    /// 10× isolated latency.
+    pub fn new() -> Self {
+        ServeConfig {
+            policy: BatchPolicy::Fifo,
+            dispatch: Dispatch::Whole,
+            preemption: false,
+            queue_capacity: 4096,
+            requests: 100_000,
+            load: 0.8,
+            seed: 42,
+            high_priority_frac: 0.0,
+            slo_multiplier: 10.0,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+/// Heap event payloads; `Ord` is derived but never decides order —
+/// the `(time, seq)` prefix of the heap key is already unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    Arrival { net: usize, high: bool },
+    ArrayDone { array: usize, gen: u64 },
+    PodDone,
+    Deadline,
+}
+
+/// A batch currently executing on one array.
+#[derive(Debug)]
+struct Running {
+    batch: Batch,
+    started: u64,
+    done: u64,
+}
+
+#[derive(Debug, Default)]
+struct ArrayState {
+    busy: bool,
+    gen: u64,
+    busy_cycles: u64,
+    batches: u64,
+    requests: u64,
+    running: Option<Running>,
+}
+
+/// A preempted batch waiting to re-run: remaining cycles already
+/// include the refill penalty.
+#[derive(Debug)]
+struct ResumeJob {
+    batch: Batch,
+    remaining: u64,
+}
+
+struct Engine<'a> {
+    pod: &'a PodSpec,
+    cfg: &'a ServeConfig,
+    oracle: CostOracle,
+    queue: RequestQueue,
+    heap: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
+    seq: u64,
+    arrays: Vec<ArrayState>,
+    resume: VecDeque<ResumeJob>,
+    pod_running: Option<(Batch, u64, u64)>,
+    traffic: TrafficGen,
+    emitted: u64,
+    next_id: u64,
+    net_names: Vec<String>,
+    slo_target: Vec<u64>,
+    // Outcome accumulators.
+    latencies: Vec<u64>,
+    net_completed: Vec<u64>,
+    net_slo_met: Vec<u64>,
+    offered: u64,
+    dropped: u64,
+    batches: u64,
+    preemptions: u64,
+    events: u64,
+    makespan: u64,
+    // Time-weighted queue-depth integral.
+    depth_area: u128,
+    depth_last_t: u64,
+    max_depth: u64,
+    deadline_scheduled: Option<u64>,
+    trace: Option<&'a mut PodTraceSink>,
+}
+
+impl<'a> Engine<'a> {
+    fn push_event(&mut self, at: u64, kind: EvKind) {
+        self.heap.push(Reverse((at, self.seq, kind)));
+        self.seq += 1;
+    }
+
+    /// Advances the queue-depth integral to `now` (call before any
+    /// queue mutation).
+    fn tick_depth(&mut self, now: u64) {
+        let dt = now.saturating_sub(self.depth_last_t);
+        self.depth_area += self.queue.len() as u128 * dt as u128;
+        self.depth_last_t = now;
+    }
+
+    fn note_depth(&mut self, now: u64) {
+        let depth = self.queue.len() as u64;
+        self.max_depth = self.max_depth.max(depth);
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.queue_depth(now, depth as usize);
+        }
+    }
+
+    fn batch_label(&self, batch: &Batch) -> String {
+        let name = &self.net_names[batch.net];
+        let prio = if batch.high_priority { " !" } else { "" };
+        format!("{} x{}{}", name, batch.requests.len(), prio)
+    }
+
+    fn launch(&mut self, array: usize, batch: Batch, service: u64, now: u64, resumed: bool) {
+        let done = now.saturating_add(service.max(1));
+        let state = &mut self.arrays[array];
+        state.busy = true;
+        if !resumed {
+            state.batches += 1;
+            self.batches += 1;
+        }
+        state.running = Some(Running {
+            batch,
+            started: now,
+            done,
+        });
+        let gen = state.gen;
+        self.push_event(done, EvKind::ArrayDone { array, gen });
+    }
+
+    fn complete(&mut self, array: usize, now: u64) {
+        let Some(run) = self.arrays[array].running.take() else {
+            return;
+        };
+        self.arrays[array].busy = false;
+        self.arrays[array].busy_cycles += now.saturating_sub(run.started);
+        self.arrays[array].requests += run.batch.requests.len() as u64;
+        let label = self.batch_label(&run.batch);
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.batch_span(array, run.started, now, &label);
+        }
+        self.record_completions(&run.batch, now);
+    }
+
+    fn record_completions(&mut self, batch: &Batch, now: u64) {
+        for p in &batch.requests {
+            let latency = now.saturating_sub(p.arrived);
+            self.latencies.push(latency);
+            self.net_completed[p.net] += 1;
+            if latency <= self.slo_target[p.net] {
+                self.net_slo_met[p.net] += 1;
+            }
+        }
+    }
+
+    /// Evicts the least-urgent running batch (latest completion, not
+    /// high priority) to free an array for a waiting high-priority
+    /// request.
+    fn maybe_preempt(&mut self, now: u64) {
+        if self.arrays.iter().any(|a| !a.busy) {
+            return;
+        }
+        let victim = self
+            .arrays
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                a.running
+                    .as_ref()
+                    .filter(|r| !r.batch.high_priority)
+                    .map(|r| (r.done, std::cmp::Reverse(i)))
+                    .map(|key| (key, i))
+            })
+            .max_by_key(|&(key, _)| key)
+            .map(|(_, i)| i);
+        let Some(victim) = victim else { return };
+        let state = &mut self.arrays[victim];
+        state.gen += 1; // invalidate the in-flight ArrayDone
+        state.busy = false;
+        let Some(run) = state.running.take() else {
+            return;
+        };
+        state.busy_cycles += now.saturating_sub(run.started);
+        let spec = self.pod.arrays[victim];
+        let refill = (spec.rows + spec.cols) as u64;
+        let remaining = run.done.saturating_sub(now).saturating_add(refill);
+        self.preemptions += 1;
+        let label = self.batch_label(&run.batch);
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.batch_span(victim, run.started, now, &format!("{label} (preempted)"));
+            trace.preemption(victim, now, &label);
+        }
+        self.resume.push_back(ResumeJob {
+            batch: run.batch,
+            remaining,
+        });
+    }
+
+    fn dispatch_whole(&mut self, now: u64) -> Result<(), ServeError> {
+        loop {
+            let idle: Vec<usize> = (0..self.arrays.len())
+                .filter(|&a| !self.arrays[a].busy)
+                .collect();
+            if idle.is_empty() {
+                break;
+            }
+            if let Some(job) = self.resume.pop_front() {
+                // Remaining cycles were measured on the victim array;
+                // re-running them anywhere at face value idealises the
+                // resume (fold-granularity approximation).
+                self.launch(idle[0], job.batch, job.remaining, now, true);
+                continue;
+            }
+            self.tick_depth(now);
+            let Some(batch) = self.queue.pop_batch(now) else {
+                self.note_depth(now);
+                break;
+            };
+            self.note_depth(now);
+            let size = batch.requests.len();
+            let mut best = idle[0];
+            let mut best_cost = u64::MAX;
+            for &a in &idle {
+                let cost = self.oracle.request_cycles(a, batch.net, size)?;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = a;
+                }
+            }
+            self.launch(best, batch, best_cost, now, false);
+        }
+        self.schedule_deadline(now, !self.arrays.iter().all(|a| a.busy));
+        Ok(())
+    }
+
+    fn dispatch_sharded(&mut self, now: u64) -> Result<(), ServeError> {
+        if self.pod_running.is_none() {
+            self.tick_depth(now);
+            let popped = self.queue.pop_batch(now);
+            self.note_depth(now);
+            if let Some(batch) = popped {
+                let plan = self.oracle.shard_plan(batch.net, batch.requests.len())?;
+                let label = self.batch_label(&batch);
+                // The critical array (largest share) carries the
+                // request count so per-array sums stay accountable.
+                let critical = plan
+                    .shares
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                for (a, &share) in plan.shares.iter().enumerate() {
+                    if share == 0 {
+                        continue;
+                    }
+                    let state = &mut self.arrays[a];
+                    state.busy_cycles += share;
+                    state.batches += 1;
+                    if a == critical {
+                        state.requests += batch.requests.len() as u64;
+                    }
+                    if let Some(trace) = self.trace.as_deref_mut() {
+                        trace.batch_span(a, now, now + share, &label);
+                    }
+                }
+                self.batches += 1;
+                let done = now.saturating_add(plan.makespan.max(1));
+                self.pod_running = Some((batch, now, done));
+                self.push_event(done, EvKind::PodDone);
+                return Ok(());
+            }
+        }
+        self.schedule_deadline(now, self.pod_running.is_none());
+        Ok(())
+    }
+
+    /// Books a wake-up at the queue's next batching deadline, but only
+    /// while capacity sits idle (a busy pod re-dispatches on its own
+    /// completion events).
+    fn schedule_deadline(&mut self, now: u64, capacity_idle: bool) {
+        if !capacity_idle || self.queue.is_empty() {
+            return;
+        }
+        if let Some(d) = self.queue.next_deadline() {
+            let at = d.max(now + 1);
+            let stale = match self.deadline_scheduled {
+                None => true,
+                Some(s) => at < s || s <= now,
+            };
+            if stale {
+                self.deadline_scheduled = Some(at);
+                self.push_event(at, EvKind::Deadline);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: u64) -> Result<(), ServeError> {
+        match self.cfg.dispatch {
+            Dispatch::Whole => self.dispatch_whole(now),
+            Dispatch::Sharded => self.dispatch_sharded(now),
+        }
+    }
+}
+
+/// Runs one pod simulation to completion and returns its report.
+///
+/// Deterministic: the report's `results_fnv1a64` is a pure function of
+/// `(pod, workload, cfg)`. Pass a [`PodTraceSink`] to also collect a
+/// Chrome trace of the schedule.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Config`] for inconsistent configurations
+/// (zero requests, non-positive load, preemption under sharded
+/// dispatch) and propagates oracle errors for ops the latency model
+/// rejects.
+pub fn simulate(
+    pod: &PodSpec,
+    workload: &Workload,
+    cfg: &ServeConfig,
+    trace: Option<&mut PodTraceSink>,
+) -> Result<ServeReport, ServeError> {
+    let _span = fuseconv_telemetry::span("serve.simulate");
+    if cfg.requests == 0 {
+        return Err(ServeError::Config(
+            "requests must be at least 1".to_string(),
+        ));
+    }
+    if !(cfg.load.is_finite() && cfg.load > 0.0) {
+        return Err(ServeError::Config(format!(
+            "load must be finite and positive, got {}",
+            cfg.load
+        )));
+    }
+    if cfg.preemption && cfg.dispatch == Dispatch::Sharded {
+        return Err(ServeError::Config(
+            "preemption requires whole-request dispatch".to_string(),
+        ));
+    }
+    let models = pod.models()?;
+    let mut oracle = CostOracle::new(models, workload.networks());
+    let n_nets = workload.len();
+
+    // SLO targets: slo_multiplier × best isolated batch-1 latency.
+    let mut slo_target = Vec::with_capacity(n_nets);
+    for net in 0..n_nets {
+        let best = oracle.best_cycles(net)? as f64;
+        slo_target.push((best * cfg.slo_multiplier.max(1.0)).round() as u64);
+    }
+
+    // Pod capacity estimate (requests/cycle) calibrates offered load.
+    let total_weight: u64 = workload.weights().iter().sum();
+    let mut mix_frac = Vec::with_capacity(n_nets);
+    for &w in workload.weights() {
+        mix_frac.push(w as f64 / total_weight as f64);
+    }
+    let capacity = match cfg.dispatch {
+        Dispatch::Whole => {
+            let mut total = 0.0;
+            for a in 0..pod.len() {
+                let mut mean = 0.0;
+                for (net, &frac) in mix_frac.iter().enumerate() {
+                    mean += frac * oracle.request_cycles(a, net, 1)? as f64;
+                }
+                total += 1.0 / mean;
+            }
+            total
+        }
+        Dispatch::Sharded => {
+            let mut mean = 0.0;
+            for (net, &frac) in mix_frac.iter().enumerate() {
+                mean += frac * oracle.shard_plan(net, 1)?.makespan as f64;
+            }
+            1.0 / mean
+        }
+    };
+    let mean_gap = 1.0 / (cfg.load * capacity);
+
+    let mut engine = Engine {
+        pod,
+        cfg,
+        oracle,
+        queue: RequestQueue::new(cfg.policy, cfg.queue_capacity, n_nets),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        arrays: (0..pod.len()).map(|_| ArrayState::default()).collect(),
+        resume: VecDeque::new(),
+        pod_running: None,
+        traffic: TrafficGen::new(cfg.seed, mean_gap, workload, cfg.high_priority_frac),
+        emitted: 0,
+        next_id: 0,
+        net_names: workload
+            .networks()
+            .iter()
+            .map(|n| n.name().to_string())
+            .collect(),
+        slo_target,
+        latencies: Vec::with_capacity(cfg.requests.min(2_000_000) as usize),
+        net_completed: vec![0; n_nets],
+        net_slo_met: vec![0; n_nets],
+        offered: 0,
+        dropped: 0,
+        batches: 0,
+        preemptions: 0,
+        events: 0,
+        makespan: 0,
+        depth_area: 0,
+        depth_last_t: 0,
+        max_depth: 0,
+        deadline_scheduled: None,
+        trace,
+    };
+
+    let first = engine.traffic.next_after(0);
+    engine.emitted = 1;
+    engine.push_event(
+        first.at,
+        EvKind::Arrival {
+            net: first.net,
+            high: first.high_priority,
+        },
+    );
+
+    while let Some(Reverse((now, _seq, kind))) = engine.heap.pop() {
+        engine.events += 1;
+        engine.makespan = engine.makespan.max(now);
+        match kind {
+            EvKind::Arrival { net, high } => {
+                engine.offered += 1;
+                let pending = Pending {
+                    id: engine.next_id,
+                    net,
+                    arrived: now,
+                    high_priority: high,
+                };
+                engine.next_id += 1;
+                engine.tick_depth(now);
+                if !engine.queue.push(pending) {
+                    engine.dropped += 1;
+                }
+                engine.note_depth(now);
+                if engine.emitted < cfg.requests {
+                    let next = engine.traffic.next_after(now);
+                    engine.emitted += 1;
+                    engine.push_event(
+                        next.at,
+                        EvKind::Arrival {
+                            net: next.net,
+                            high: next.high_priority,
+                        },
+                    );
+                }
+                if cfg.preemption && high {
+                    engine.maybe_preempt(now);
+                }
+                engine.dispatch(now)?;
+            }
+            EvKind::ArrayDone { array, gen } => {
+                if engine.arrays[array].gen != gen {
+                    continue; // preempted; the batch re-runs via the resume queue
+                }
+                engine.complete(array, now);
+                engine.dispatch(now)?;
+            }
+            EvKind::PodDone => {
+                if let Some((batch, _started, done)) = engine.pod_running.take() {
+                    engine.record_completions(&batch, done);
+                }
+                engine.dispatch(now)?;
+            }
+            EvKind::Deadline => {
+                if engine.deadline_scheduled == Some(now) {
+                    engine.deadline_scheduled = None;
+                }
+                engine.dispatch(now)?;
+            }
+        }
+    }
+    engine.tick_depth(engine.makespan);
+
+    // Metrics: wired in bulk so the hot loop stays allocation-free.
+    fuseconv_telemetry::counter("serve.requests_total").add(engine.offered);
+    fuseconv_telemetry::counter("serve.completed_total").add(engine.latencies.len() as u64);
+    fuseconv_telemetry::counter("serve.dropped_total").add(engine.dropped);
+    fuseconv_telemetry::counter("serve.batches_total").add(engine.batches);
+    fuseconv_telemetry::counter("serve.preemptions_total").add(engine.preemptions);
+    fuseconv_telemetry::counter("serve.events_total").add(engine.events);
+    let latency_hist = fuseconv_telemetry::histogram("serve.latency_cycles");
+    for &l in &engine.latencies {
+        latency_hist.record(l);
+    }
+
+    let makespan = engine.makespan.max(1);
+    let completed = engine.latencies.len() as u64;
+    let slo_met: u64 = engine.net_slo_met.iter().sum();
+    let arrays = pod
+        .arrays
+        .iter()
+        .zip(&engine.arrays)
+        .map(|(spec, state)| ArrayReport {
+            name: spec.name(),
+            rows: spec.rows,
+            cols: spec.cols,
+            dataflow: spec.dataflow_name().to_string(),
+            batches: state.batches,
+            requests: state.requests,
+            busy_cycles: state.busy_cycles,
+            utilization: state.busy_cycles as f64 / makespan as f64,
+        })
+        .collect();
+    let networks = (0..n_nets)
+        .map(|net| NetworkReport {
+            name: engine.net_names[net].clone(),
+            weight: workload.weights()[net],
+            completed: engine.net_completed[net],
+            slo_target_cycles: engine.slo_target[net],
+            slo_met: engine.net_slo_met[net],
+        })
+        .collect();
+    Ok(ServeReport {
+        pod: pod.to_string(),
+        policy: cfg.policy.name().to_string(),
+        dispatch: cfg.dispatch.name().to_string(),
+        preemption: cfg.preemption,
+        seed: cfg.seed,
+        load: cfg.load,
+        queue_capacity: cfg.queue_capacity,
+        slo_multiplier: cfg.slo_multiplier,
+        offered: engine.offered,
+        completed,
+        dropped: engine.dropped,
+        batches: engine.batches,
+        preemptions: engine.preemptions,
+        events: engine.events,
+        makespan_cycles: engine.makespan,
+        slo_met,
+        latency: LatencyStats::from_latencies(&engine.latencies),
+        queue: QueueStats {
+            mean_depth: engine.depth_area as f64 / makespan as f64,
+            max_depth: engine.max_depth,
+        },
+        offered_per_mcycle: engine.offered as f64 * 1e6 / makespan as f64,
+        goodput_per_mcycle: slo_met as f64 * 1e6 / makespan as f64,
+        arrays,
+        networks,
+        manifest: RunManifest::capture()
+            .with_config(&format!(
+                "serve pod={} policy={} dispatch={} load={} requests={}",
+                pod,
+                cfg.policy.name(),
+                cfg.dispatch.name(),
+                cfg.load,
+                cfg.requests
+            ))
+            .with_seed(cfg.seed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuseconv_models::zoo;
+
+    fn tiny_workload() -> Workload {
+        Workload::uniform(vec![zoo::mobilenet_v1(), zoo::mobilenet_v2()]).expect("mix")
+    }
+
+    fn base_cfg(requests: u64) -> ServeConfig {
+        ServeConfig {
+            requests,
+            ..ServeConfig::new()
+        }
+    }
+
+    #[test]
+    fn conservation_every_offered_request_is_accounted() {
+        let pod = PodSpec::parse("16x16:os,8x8:ws").expect("pod");
+        let report = simulate(&pod, &tiny_workload(), &base_cfg(2000), None).expect("sim");
+        assert_eq!(report.offered, 2000);
+        assert_eq!(report.completed + report.dropped, report.offered);
+        let per_array: u64 = report.arrays.iter().map(|a| a.requests).sum();
+        assert_eq!(per_array, report.completed);
+        let per_net: u64 = report.networks.iter().map(|n| n.completed).sum();
+        assert_eq!(per_net, report.completed);
+        assert!(report.latency.p50 <= report.latency.p99);
+        assert!(report.latency.p99 <= report.latency.p999);
+        assert!(report.latency.p999 <= report.latency.max);
+    }
+
+    #[test]
+    fn same_seed_is_bit_for_bit_deterministic() {
+        let pod = PodSpec::parse("16x16:os,8x8:is").expect("pod");
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Dynamic {
+                max_batch: 4,
+                max_wait: 10_000,
+            },
+            ..base_cfg(3000)
+        };
+        let a = simulate(&pod, &tiny_workload(), &cfg, None).expect("sim");
+        let b = simulate(&pod, &tiny_workload(), &cfg, None).expect("sim");
+        // Reports differ only in the manifest's wall-clock fields; every
+        // result field must match bit for bit.
+        assert_eq!(a.results_hash(), b.results_hash());
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.arrays, b.arrays);
+        assert_eq!(a.networks, b.networks);
+        assert_eq!(
+            (a.offered, a.completed, a.dropped),
+            (b.offered, b.completed, b.dropped)
+        );
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.events, b.events);
+        let other = simulate(
+            &pod,
+            &tiny_workload(),
+            &ServeConfig { seed: 43, ..cfg },
+            None,
+        )
+        .expect("sim");
+        assert_ne!(a.results_hash(), other.results_hash());
+    }
+
+    #[test]
+    fn overload_bends_goodput_below_offered() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let under = simulate(
+            &pod,
+            &workload,
+            &ServeConfig {
+                load: 0.3,
+                ..base_cfg(1500)
+            },
+            None,
+        )
+        .expect("sim");
+        let over = simulate(
+            &pod,
+            &workload,
+            &ServeConfig {
+                load: 3.0,
+                queue_capacity: 256,
+                ..base_cfg(1500)
+            },
+            None,
+        )
+        .expect("sim");
+        assert!(under.dropped == 0, "light load drops nothing");
+        assert!(
+            over.dropped > 0,
+            "3x overload with a bounded queue must shed requests"
+        );
+        assert!(over.latency.p99 > under.latency.p99);
+        // Goodput saturates: far below what overload offers.
+        assert!(over.goodput_per_mcycle < over.offered_per_mcycle * 0.7);
+        assert!(over.queue.max_depth > under.queue.max_depth);
+    }
+
+    #[test]
+    fn dynamic_batching_launches_multi_request_batches() {
+        let pod = PodSpec::parse("16x16:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Dynamic {
+                max_batch: 8,
+                max_wait: 1_000_000,
+            },
+            load: 1.5,
+            ..base_cfg(800)
+        };
+        let report = simulate(&pod, &workload, &cfg, None).expect("sim");
+        assert!(
+            report.batches < report.completed,
+            "batching coalesces: {} batches for {} requests",
+            report.batches,
+            report.completed
+        );
+    }
+
+    #[test]
+    fn sharded_dispatch_uses_every_array() {
+        let pod = PodSpec::parse("16x16:os,16x16:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let cfg = ServeConfig {
+            dispatch: Dispatch::Sharded,
+            load: 0.5,
+            ..base_cfg(500)
+        };
+        let report = simulate(&pod, &workload, &cfg, None).expect("sim");
+        assert_eq!(report.completed + report.dropped, report.offered);
+        for a in &report.arrays {
+            assert!(
+                a.busy_cycles > 0,
+                "{} sat idle under sharded dispatch",
+                a.name
+            );
+        }
+        let per_array: u64 = report.arrays.iter().map(|a| a.requests).sum();
+        assert_eq!(per_array, report.completed);
+    }
+
+    #[test]
+    fn preemption_fires_under_pressure_and_keeps_accounting() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let cfg = ServeConfig {
+            preemption: true,
+            high_priority_frac: 0.2,
+            load: 1.2,
+            ..base_cfg(600)
+        };
+        let report = simulate(&pod, &workload, &cfg, None).expect("sim");
+        assert!(
+            report.preemptions > 0,
+            "overload + high-priority traffic preempts"
+        );
+        assert_eq!(report.completed + report.dropped, report.offered);
+        // Preempted work still finishes: nothing is lost.
+        let per_net: u64 = report.networks.iter().map(|n| n.completed).sum();
+        assert_eq!(per_net, report.completed);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        let w = tiny_workload();
+        assert!(matches!(
+            simulate(&pod, &w, &base_cfg(0), None),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            simulate(
+                &pod,
+                &w,
+                &ServeConfig {
+                    load: 0.0,
+                    ..base_cfg(10)
+                },
+                None
+            ),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            simulate(
+                &pod,
+                &w,
+                &ServeConfig {
+                    preemption: true,
+                    dispatch: Dispatch::Sharded,
+                    ..base_cfg(10)
+                },
+                None
+            ),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn trace_sink_collects_pod_lanes() {
+        let pod = PodSpec::parse("16x16:os,8x8:ws").expect("pod");
+        let mut sink = PodTraceSink::new(&pod);
+        let report =
+            simulate(&pod, &tiny_workload(), &base_cfg(200), Some(&mut sink)).expect("sim");
+        assert!(sink.event_count() > 0);
+        let json = sink.into_json();
+        assert!(json.contains("array 0: 16x16:os"));
+        assert!(json.contains("queue_depth"));
+        assert!(report.completed > 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-request cost oracle over the analytic latency model.
+//!
+//! Serving a million requests is only feasible because per-request cost
+//! comes from [`LatencyModel::cycles`] — the closed form whose totals
+//! equal the cycle simulator exactly under serial fold accounting (the
+//! invariant `tests/serve_cross_check.rs` spot-checks). The oracle
+//! memoises per `(array, network, batch)` triple, so steady-state
+//! serving costs one `HashMap` probe per dispatch, and it precomputes
+//! the LPT shard plan used by [`crate::engine::Dispatch::Sharded`].
+
+use crate::spec::ServeError;
+use fuseconv_latency::LatencyModel;
+use fuseconv_models::Network;
+use fuseconv_nn::ops::Op;
+use std::collections::HashMap;
+
+/// How a sharded request's ops spread across the pod.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Cycles each array contributes (pod order); zero means the array
+    /// sits out this request.
+    pub shares: Vec<u64>,
+    /// Completion time of the slowest share — the request's service
+    /// latency under idealised concurrent execution.
+    pub makespan: u64,
+}
+
+/// Memoising cost oracle: batch-aware per-request cycles and shard
+/// plans for every (array, network) pair of the pod.
+#[derive(Debug)]
+pub struct CostOracle {
+    models: Vec<LatencyModel>,
+    ops: Vec<Vec<Op>>,
+    cost_cache: HashMap<(usize, usize, usize), u64>,
+    shard_cache: HashMap<(usize, usize), ShardPlan>,
+}
+
+impl CostOracle {
+    /// Builds the oracle for `models` (pod order) over `networks`
+    /// (workload order). Ops are flattened once; nothing is simulated.
+    pub fn new(models: Vec<LatencyModel>, networks: &[Network]) -> Self {
+        let ops = networks
+            .iter()
+            .map(|n| n.ops().into_iter().map(|named| named.op).collect())
+            .collect();
+        CostOracle {
+            models,
+            ops,
+            cost_cache: HashMap::new(),
+            shard_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of arrays the oracle knows about.
+    pub fn arrays(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of networks the oracle knows about.
+    pub fn networks(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn op_cycles(model: &LatencyModel, op: &Op) -> Result<u64, ServeError> {
+        model.cycles(op).map_err(ServeError::Latency)
+    }
+
+    /// Whole-network cycles for one request batch of size `batch` of
+    /// network `net` on array `array`: the sum of analytic op costs at
+    /// that batch size (batching adds GEMM rows, so cost grows
+    /// sub-linearly in `batch`). Memoised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Latency`] if the model rejects an op and
+    /// [`ServeError::Config`] on out-of-range indices or overflow.
+    pub fn request_cycles(
+        &mut self,
+        array: usize,
+        net: usize,
+        batch: usize,
+    ) -> Result<u64, ServeError> {
+        if let Some(&cycles) = self.cost_cache.get(&(array, net, batch)) {
+            return Ok(cycles);
+        }
+        let model = self
+            .models
+            .get(array)
+            .copied()
+            .ok_or_else(|| ServeError::Config(format!("array index {array} out of range")))?
+            .with_batch(batch.max(1));
+        let ops = self
+            .ops
+            .get(net)
+            .ok_or_else(|| ServeError::Config(format!("network index {net} out of range")))?;
+        let mut total: u64 = 0;
+        for op in ops {
+            let c = Self::op_cycles(&model, op)?;
+            total = total.checked_add(c).ok_or_else(|| {
+                ServeError::Config("network cost overflows u64 cycles".to_string())
+            })?;
+        }
+        self.cost_cache.insert((array, net, batch), total);
+        Ok(total)
+    }
+
+    /// The cheapest batch-1 service time for `net` anywhere in the pod
+    /// — the basis for SLO targets and offered-load calibration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::request_cycles`] errors.
+    pub fn best_cycles(&mut self, net: usize) -> Result<u64, ServeError> {
+        let mut best = u64::MAX;
+        for array in 0..self.models.len() {
+            best = best.min(self.request_cycles(array, net, 1)?);
+        }
+        Ok(best)
+    }
+
+    /// LPT shard plan for one batch of network `net` at size `batch`:
+    /// ops are assigned greedily, longest first, to the array where
+    /// they finish earliest (load + per-op cost on that array). This is
+    /// the classic list-scheduling bound for unrelated machines; the
+    /// resulting makespan idealises perfectly overlapped inter-array
+    /// execution (no cross-array activation traffic is modelled).
+    /// Memoised per `(net, batch)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError::Latency`] from op costing.
+    pub fn shard_plan(&mut self, net: usize, batch: usize) -> Result<ShardPlan, ServeError> {
+        let batch = batch.max(1);
+        if let Some(plan) = self.shard_cache.get(&(net, batch)) {
+            return Ok(plan.clone());
+        }
+        let ops = self
+            .ops
+            .get(net)
+            .ok_or_else(|| ServeError::Config(format!("network index {net} out of range")))?
+            .clone();
+        // Cost table: per op, per array.
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(ops.len());
+        for op in &ops {
+            let mut row = Vec::with_capacity(self.models.len());
+            for model in &self.models {
+                let m = (*model).with_batch(batch);
+                row.push(Self::op_cycles(&m, op)?);
+            }
+            table.push(row);
+        }
+        // Longest processing time first, by each op's best-case cost;
+        // ties break on op index so the plan is deterministic.
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| {
+            let best = table[i].iter().copied().min().unwrap_or(0);
+            (std::cmp::Reverse(best), i)
+        });
+        let mut shares = vec![0u64; self.models.len()];
+        for &i in &order {
+            let mut best_array = 0usize;
+            let mut best_finish = u64::MAX;
+            for (a, &cost) in table[i].iter().enumerate() {
+                let finish = shares[a].saturating_add(cost);
+                if finish < best_finish {
+                    best_finish = finish;
+                    best_array = a;
+                }
+            }
+            shares[best_array] = best_finish;
+        }
+        let makespan = shares.iter().copied().max().unwrap_or(0);
+        let plan = ShardPlan { shares, makespan };
+        self.shard_cache.insert((net, batch), plan.clone());
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PodSpec;
+    use fuseconv_models::zoo;
+
+    fn oracle() -> CostOracle {
+        let pod = PodSpec::parse("16x16:os,8x8:ws").expect("valid pod");
+        let nets = vec![zoo::mobilenet_v1()];
+        CostOracle::new(pod.models().expect("models"), &nets)
+    }
+
+    #[test]
+    fn request_cost_is_sum_of_op_costs_and_memoised() {
+        let mut o = oracle();
+        let first = o.request_cycles(0, 0, 1).expect("cost");
+        let again = o.request_cycles(0, 0, 1).expect("cost");
+        assert_eq!(first, again);
+        assert!(first > 0);
+        // A second copy via the model directly must agree.
+        let model = PodSpec::parse("16x16:os").unwrap().models().unwrap()[0];
+        let by_hand: u64 = zoo::mobilenet_v1()
+            .ops()
+            .iter()
+            .map(|n| model.cycles(&n.op).expect("op cost"))
+            .sum();
+        assert_eq!(first, by_hand);
+    }
+
+    #[test]
+    fn batching_is_sublinear() {
+        let mut o = oracle();
+        let one = o.request_cycles(0, 0, 1).expect("cost");
+        let four = o.request_cycles(0, 0, 4).expect("cost");
+        assert!(four > one, "batch 4 costs more than batch 1 in total");
+        assert!(four < 4 * one, "but less than 4 independent requests");
+    }
+
+    #[test]
+    fn shard_plan_covers_all_ops_and_bounds_makespan() {
+        let mut o = oracle();
+        let plan = o.shard_plan(0, 1).expect("plan");
+        assert_eq!(plan.shares.len(), 2);
+        assert_eq!(plan.makespan, *plan.shares.iter().max().unwrap());
+        // Sharding across two arrays cannot be slower than serialising
+        // everything on the best single array.
+        let best = o.best_cycles(0).expect("best");
+        assert!(plan.makespan <= best);
+        // And the plan must be deterministic.
+        assert_eq!(plan, o.shard_plan(0, 1).expect("plan"));
+    }
+
+    #[test]
+    fn out_of_range_indices_are_config_errors() {
+        let mut o = oracle();
+        assert!(matches!(
+            o.request_cycles(9, 0, 1),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            o.request_cycles(0, 9, 1),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,94 @@
+//! Serving MobileNet-V2 (FuSe-Full) on a pod of four heterogeneous
+//! systolic arrays: sweep the offered load from well under capacity to
+//! well over it and watch the latency/goodput knee.
+//!
+//! Below the knee the pod completes everything it is offered inside the
+//! SLO and tail latency stays near the batch-1 service time; past the
+//! knee the queue saturates, p99/p999 blow up, requests drop, and
+//! goodput detaches from offered throughput. The knee is the capacity
+//! the serve simulator's calibration predicts from the analytic cost
+//! oracle alone — no cycle-level simulation in the loop.
+//!
+//! ```text
+//! cargo run --release --example serve_pod
+//! ```
+
+use fuseconv::models::zoo;
+use fuseconv::nn::FuSeVariant;
+use fuseconv::serve::{simulate, BatchPolicy, PodSpec, ServeConfig, Workload};
+
+fn main() {
+    let pod = PodSpec::parse("64x64:os,32x32:ws,16x16:os,8x8:os").expect("valid pod");
+    let workload = Workload::uniform(vec![zoo::mobilenet_v2().transform_all(FuSeVariant::Full)])
+        .expect("valid workload");
+
+    println!("pod: {pod}   workload: MobileNet-V2 FuSe-Full   policy: dynamic(max_batch=8)");
+    println!();
+    println!(
+        "{:>5}  {:>9} {:>8}  {:>10} {:>10} {:>10}  {:>9} {:>9}  {:>5}",
+        "load",
+        "offered",
+        "dropped",
+        "p50 cyc",
+        "p99 cyc",
+        "p999 cyc",
+        "offer/Mc",
+        "good/Mc",
+        "SLO%"
+    );
+
+    let mut sweep = Vec::new();
+    for &load in &[0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.6] {
+        let cfg = ServeConfig {
+            requests: 20_000,
+            load,
+            policy: BatchPolicy::Dynamic {
+                max_batch: 8,
+                max_wait: 50_000,
+            },
+            seed: 42,
+            ..ServeConfig::default()
+        };
+        let r = simulate(&pod, &workload, &cfg, None).expect("pod simulation runs");
+        println!(
+            "{:>5.1}  {:>9} {:>8}  {:>10} {:>10} {:>10}  {:>9.4} {:>9.4}  {:>4.1}%",
+            load,
+            r.offered,
+            r.dropped,
+            r.latency.p50,
+            r.latency.p99,
+            r.latency.p999,
+            r.offered_per_mcycle,
+            r.goodput_per_mcycle,
+            100.0 * r.slo_met as f64 / r.completed.max(1) as f64,
+        );
+        sweep.push((load, r));
+    }
+
+    let (_, under) = &sweep[0];
+    let (_, over) = &sweep[sweep.len() - 1];
+
+    // Below the knee: nothing drops and essentially everything meets SLO.
+    assert_eq!(under.dropped, 0, "under-loaded pod must not drop requests");
+    assert!(
+        under.slo_met as f64 >= 0.99 * under.completed as f64,
+        "under-loaded pod must meet its SLOs"
+    );
+    // Past the knee: the tail blows up and goodput detaches from offered
+    // load — the signature of a saturated queue.
+    assert!(
+        over.latency.p999 > 4 * under.latency.p999,
+        "overload must inflate the p999 tail"
+    );
+    assert!(
+        over.goodput_per_mcycle < 0.9 * over.offered_per_mcycle,
+        "overload goodput must fall below offered throughput"
+    );
+    println!();
+    println!(
+        "knee confirmed: p999 {}x the under-loaded tail, goodput {:.1}% of offered at load {:.1}",
+        over.latency.p999 / under.latency.p999.max(1),
+        100.0 * over.goodput_per_mcycle / over.offered_per_mcycle,
+        sweep[sweep.len() - 1].0,
+    );
+}

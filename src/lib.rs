@@ -17,6 +17,7 @@
 //! - [`analyze`] — static dataflow-legality analyzer and workspace lints
 //! - [`perf`] — cycle-accounted performance counters and roofline reports
 //! - [`telemetry`] — host-side span profiler, metrics registry, run manifests
+//! - [`serve`] — discrete-event multi-array serving simulator
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +30,7 @@ pub use fuseconv_models as models;
 pub use fuseconv_nn as nn;
 pub use fuseconv_perf as perf;
 pub use fuseconv_ria as ria;
+pub use fuseconv_serve as serve;
 pub use fuseconv_systolic as systolic;
 pub use fuseconv_telemetry as telemetry;
 pub use fuseconv_tensor as tensor;

@@ -1,7 +1,8 @@
 //! Golden-file regression test for the `fuseconv-manifest-v1` run
 //! provenance object. Every JSON artifact the workspace emits (perf
 //! reports, bench suites, analyze reports, Chrome traces, metrics
-//! snapshots) embeds a manifest under a top-level `"manifest"` key;
+//! snapshots, serve reports and pod traces) embeds a manifest under a
+//! top-level `"manifest"` key;
 //! `tests/golden/manifest_schema.json` pins its field set and order so a
 //! rename or removal shows up as a reviewable golden diff. Adding a field
 //! is the one additive change the golden file expects — append it to the
@@ -166,6 +167,19 @@ fn every_json_artifact_embeds_a_golden_manifest() {
     let host_trace =
         fuseconv::telemetry::span_snapshot().chrome_trace_json(&RunManifest::capture());
     artifacts.push(("host chrome trace", host_trace));
+
+    let pod = fuseconv::serve::PodSpec::homogeneous(2, 8).expect("valid pod");
+    let workload = fuseconv::serve::Workload::uniform(vec![zoo::mobilenet_v3_small()])
+        .expect("valid workload");
+    let cfg = fuseconv::serve::ServeConfig {
+        requests: 50,
+        ..fuseconv::serve::ServeConfig::default()
+    };
+    let mut pod_trace = fuseconv::serve::PodTraceSink::new(&pod);
+    let serve = fuseconv::serve::simulate(&pod, &workload, &cfg, Some(&mut pod_trace))
+        .expect("pod simulation runs");
+    artifacts.push(("serve report", serve.to_json()));
+    artifacts.push(("serve chrome trace", pod_trace.into_json()));
 
     for (name, json) in &artifacts {
         let manifest = manifest_object(json);

@@ -1,0 +1,199 @@
+//! Cross-validates the serving simulator's cost oracle against the
+//! cycle-exact systolic simulator, and pins pod-level determinism.
+//!
+//! The serve path never runs the cycle simulator — it prices every
+//! request with the analytic [`LatencyModel`] (memoised in
+//! [`CostOracle`]). That is only sound because, under serial fold
+//! accounting, the analytic model and the cycle-exact simulator agree
+//! byte-for-byte ([`simulate_op_traced`] asserts this per call and the
+//! `trace_cross_check` test pins it for raw GEMMs). Here we close the
+//! loop at the serving granularity:
+//!
+//! 1. per-op: sampled operators from three zoo networks cost exactly the
+//!    same under `simulate_op_traced` and `LatencyModel::cycles`;
+//! 2. per-request: the oracle's whole-request cost equals the summed
+//!    cycle-exact simulation of every operator of a small network;
+//! 3. per-pod: a full pod simulation is bit-for-bit deterministic for a
+//!    fixed seed, and seed changes actually change the result stream.
+
+use fuseconv::core::trace::simulate_op_traced;
+use fuseconv::latency::LatencyModel;
+use fuseconv::models::zoo;
+use fuseconv::models::{Block, Network, SeparableBlock, SpatialFilter};
+use fuseconv::nn::FuSeVariant;
+use fuseconv::serve::{simulate, BatchPolicy, CostOracle, PodSpec, ServeConfig, Workload};
+use fuseconv::systolic::ArrayConfig;
+use fuseconv::trace::NullSink;
+
+/// Per-op analytic cycle cap for the sampled cycle-exact runs: keeps the
+/// debug-mode test budget small while still covering pointwise, FuSe and
+/// depthwise shapes.
+const SAMPLE_CYCLE_CAP: u64 = 250_000;
+/// How many operators to cycle-simulate per network.
+const SAMPLES_PER_NET: usize = 4;
+
+fn serve_model(side: usize) -> LatencyModel {
+    let array = ArrayConfig::new(side, side)
+        .expect("valid array")
+        .with_broadcast(true);
+    LatencyModel::new(array)
+}
+
+fn fuse_zoo() -> Vec<Network> {
+    vec![
+        zoo::mobilenet_v1().transform_all(FuSeVariant::Full),
+        zoo::mobilenet_v2().transform_all(FuSeVariant::Full),
+        zoo::mobilenet_v3_small().transform_all(FuSeVariant::Full),
+    ]
+}
+
+/// The serve-path request cost is exactly the sum of analytic op costs —
+/// and each sampled analytic op cost is exactly what the cycle-exact
+/// systolic simulator charges for that operator.
+#[test]
+fn oracle_cost_matches_cycle_simulator_on_zoo_networks() {
+    let networks = fuse_zoo();
+    let model = serve_model(8);
+    let mut oracle = CostOracle::new(vec![model], &networks);
+    for (net_idx, net) in networks.iter().enumerate() {
+        // Request cost == Σ analytic op cost, computed independently.
+        let mut by_hand: u64 = 0;
+        for named in net.ops() {
+            by_hand += model.cycles(&named.op).expect("model accepts zoo op");
+        }
+        let oracle_cost = oracle
+            .request_cycles(0, net_idx, 1)
+            .expect("oracle prices zoo network");
+        assert_eq!(
+            oracle_cost,
+            by_hand,
+            "{}: oracle request cost must be the analytic op-cost sum",
+            net.name()
+        );
+
+        // Sampled analytic op costs == cycle-exact simulator, exactly.
+        let mut sampled = 0usize;
+        for named in net.ops() {
+            let analytic = model.cycles(&named.op).expect("model accepts zoo op");
+            if analytic > SAMPLE_CYCLE_CAP {
+                continue;
+            }
+            let mut sink = NullSink;
+            let traced = simulate_op_traced(&model, &named.op, &mut sink)
+                .expect("cycle simulator accepts zoo op");
+            assert_eq!(
+                traced.total_cycles(),
+                analytic,
+                "{} {}: cycle simulator and serve oracle disagree",
+                net.name(),
+                named.block_name
+            );
+            sampled += 1;
+            if sampled >= SAMPLES_PER_NET {
+                break;
+            }
+        }
+        assert!(
+            sampled > 0,
+            "{}: no operator under the sample cycle cap — raise SAMPLE_CYCLE_CAP",
+            net.name()
+        );
+    }
+}
+
+/// End-to-end request equality on a network small enough to
+/// cycle-simulate completely: the serve oracle's request cost is the
+/// byte-for-byte sum of cycle-exact simulations of every operator.
+#[test]
+fn tiny_network_request_cost_equals_full_cycle_simulation() {
+    let tiny = Network::new(
+        "tiny",
+        vec![
+            (
+                "stem".to_string(),
+                Block::Conv {
+                    in_h: 16,
+                    in_w: 16,
+                    in_c: 3,
+                    out_c: 8,
+                    k: 3,
+                    stride: 2,
+                },
+            ),
+            (
+                "sep1".to_string(),
+                Block::Separable(SeparableBlock {
+                    in_h: 8,
+                    in_w: 8,
+                    in_c: 8,
+                    exp_c: 16,
+                    out_c: 8,
+                    k: 3,
+                    stride: 1,
+                    se_div: None,
+                    filter: SpatialFilter::Fuse(FuSeVariant::Full),
+                }),
+            ),
+            (
+                "fc".to_string(),
+                Block::Fc {
+                    in_features: 8,
+                    out_features: 10,
+                },
+            ),
+        ],
+    );
+    let model = serve_model(8);
+    let mut oracle = CostOracle::new(vec![model], std::slice::from_ref(&tiny));
+    let mut simulated: u64 = 0;
+    for named in tiny.ops() {
+        let mut sink = NullSink;
+        let traced = simulate_op_traced(&model, &named.op, &mut sink).expect("tiny op simulates");
+        simulated += traced.total_cycles();
+    }
+    let request = oracle.request_cycles(0, 0, 1).expect("oracle prices tiny");
+    assert_eq!(
+        request, simulated,
+        "serve request cost must equal the full cycle-exact simulation"
+    );
+}
+
+/// The pod simulation is bit-for-bit deterministic for a fixed seed:
+/// the schema-pinned results fingerprint and every headline number are
+/// identical across runs, and a different seed produces a different
+/// request stream.
+#[test]
+fn pod_simulation_is_deterministic_per_seed() {
+    let pod = PodSpec::parse("16x16:os,8x8:ws").expect("valid pod");
+    let workload = Workload::uniform(fuse_zoo()).expect("valid workload");
+    let cfg = ServeConfig {
+        requests: 4_000,
+        load: 1.2,
+        policy: BatchPolicy::Dynamic {
+            max_batch: 4,
+            max_wait: 20_000,
+        },
+        seed: 2026,
+        ..ServeConfig::default()
+    };
+    let a = simulate(&pod, &workload, &cfg, None).expect("run a");
+    let b = simulate(&pod, &workload, &cfg, None).expect("run b");
+    assert_eq!(a.results_hash(), b.results_hash(), "same seed, same bits");
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.arrays, b.arrays);
+    assert_eq!(a.networks, b.networks);
+
+    let reseeded = ServeConfig {
+        seed: 2027,
+        ..cfg.clone()
+    };
+    let c = simulate(&pod, &workload, &reseeded, None).expect("run c");
+    assert_ne!(
+        a.results_hash(),
+        c.results_hash(),
+        "a different seed must change the request stream"
+    );
+}
