@@ -25,7 +25,7 @@
 //! fuseconv serve     [--pod 64x64:os,32x32:ws,...] [--networks NAME,...|zoo]
 //!                    [--variant baseline|full|half] [--requests N] [--load F]
 //!                    [--policy fifo|dynamic|bucketed] [--max-batch N] [--max-wait N]
-//!                    [--dispatch whole|sharded] [--preempt] [--high-frac F]
+//!                    [--dispatch whole|sharded] [--preempt[=false]] [--high-frac F]
 //!                    [--queue-cap N] [--slo-mult F] [--seed N]
 //!                    [--format text|json] [--out PATH] [--chrome-trace[=PATH]]
 //! fuseconv help
@@ -112,7 +112,7 @@ COMMANDS:
              [--requests N] [--load F]  offered load vs estimated capacity
              [--policy fifo|dynamic|bucketed] [--max-batch N] [--max-wait N]
              [--dispatch whole|sharded]  whole-array or LPT-sharded batches
-             [--preempt] [--high-frac F]  priority traffic + fold-level preemption
+             [--preempt[=false]] [--high-frac F]  priority traffic + fold-level preemption
              [--queue-cap N] [--slo-mult F] [--seed N]
              [--format text|json] [--out PATH]
              [--chrome-trace[=PATH]]  per-array lanes (default serve_trace.json)
@@ -718,7 +718,11 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             let dispatch = serve::Dispatch::parse(dispatch_name).ok_or_else(|| {
                 format!("--dispatch must be whole or sharded, got `{dispatch_name}`")
             })?;
-            let preemption = parsed.flag("preempt").is_some();
+            // A switch, but negatable: `--preempt=false` / `--preempt=0`
+            // explicitly disables it.
+            let preemption = parsed
+                .flag("preempt")
+                .is_some_and(|v| v != "false" && v != "0");
             let high_default = if preemption { 0.05 } else { 0.0 };
             let cfg = serve::ServeConfig {
                 policy,
@@ -1128,6 +1132,25 @@ mod tests {
         assert!(run(&parsed(&["serve", "--requests", "0"])).is_err());
         assert!(run(&parsed(&["serve", "--load", "0"])).is_err());
         assert!(run(&parsed(&["serve", "--preempt", "--dispatch", "sharded"])).is_err());
+    }
+
+    #[test]
+    fn serve_preempt_switch_is_negatable() {
+        // `--preempt=false` must really disable preemption: the
+        // sharded-dispatch config check only rejects it when enabled.
+        assert!(run(&parsed(&[
+            "serve",
+            "--preempt=false",
+            "--dispatch",
+            "sharded",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "50"
+        ]))
+        .is_ok());
     }
 
     #[test]

@@ -171,17 +171,26 @@ impl RequestQueue {
         }
     }
 
+    /// Pops the head of the high-priority lane as a batch-1 launch, or
+    /// `None` when the lane is empty. Always ready regardless of
+    /// policy; the engine drains this lane before preempted work so an
+    /// eviction never hands the freed array back to its victim.
+    pub fn pop_high(&mut self) -> Option<Batch> {
+        let p = self.high.pop_front()?;
+        self.len -= 1;
+        Some(Batch {
+            net: p.net,
+            requests: vec![p],
+            high_priority: true,
+        })
+    }
+
     /// Pops the next ready batch under the queue's policy, or `None`
     /// when nothing may launch yet. The high-priority lane always
     /// launches first, one request at a time, regardless of policy.
     pub fn pop_batch(&mut self, now: u64) -> Option<Batch> {
-        if let Some(p) = self.high.pop_front() {
-            self.len -= 1;
-            return Some(Batch {
-                net: p.net,
-                requests: vec![p],
-                high_priority: true,
-            });
+        if let Some(batch) = self.pop_high() {
+            return Some(batch);
         }
         match self.policy {
             BatchPolicy::Fifo => {

@@ -20,10 +20,13 @@
 //! analytic cost for that network/batch size ([`crate::CostOracle`]).
 //! Under [`Dispatch::Sharded`] the whole pod serves one batch at a
 //! time via the oracle's LPT shard plan. Optional preemption lets a
-//! high-priority arrival evict the least-urgent running batch at fold
-//! granularity: the victim's remaining cycles (plus a `rows + cols`
-//! pipeline-refill penalty) re-enter a resume queue served ahead of
-//! normal traffic.
+//! high-priority arrival evict a running non-priority batch at fold
+//! granularity, but only when that finishes the arrival earlier than
+//! waiting for the first free array would; the victim's remaining
+//! cycles (plus a `rows + cols` pipeline-refill penalty) re-enter a
+//! resume queue served after the high-priority lane but ahead of
+//! normal traffic — the freed array goes to the triggering request,
+//! never straight back to its victim.
 
 use crate::batch::{Batch, BatchPolicy, Pending, RequestQueue};
 use crate::oracle::CostOracle;
@@ -170,6 +173,7 @@ struct Engine<'a> {
     slo_target: Vec<u64>,
     // Outcome accumulators.
     latencies: Vec<u64>,
+    high_latencies: Vec<u64>,
     net_completed: Vec<u64>,
     net_slo_met: Vec<u64>,
     offered: u64,
@@ -249,6 +253,9 @@ impl<'a> Engine<'a> {
         for p in &batch.requests {
             let latency = now.saturating_sub(p.arrived);
             self.latencies.push(latency);
+            if p.high_priority {
+                self.high_latencies.push(latency);
+            }
             self.net_completed[p.net] += 1;
             if latency <= self.slo_target[p.net] {
                 self.net_slo_met[p.net] += 1;
@@ -256,32 +263,57 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Evicts the least-urgent running batch (latest completion, not
-    /// high priority) to free an array for a waiting high-priority
-    /// request.
-    fn maybe_preempt(&mut self, now: u64) {
+    /// Evicts a running non-priority batch to free an array for a
+    /// just-admitted high-priority request of network `net`.
+    ///
+    /// The victim is the array on which the request would finish
+    /// earliest (start `now`, run at that array's batch-1 cost); ties
+    /// break toward the latest-completing (least urgent) batch, then
+    /// the lower array index. No eviction happens at all when simply
+    /// waiting for the first array to free — where the high-priority
+    /// lane is served first — would finish the request no later, so a
+    /// preemption can only ever shorten the triggering request's
+    /// latency.
+    fn maybe_preempt(&mut self, now: u64, net: usize) -> Result<(), ServeError> {
         if self.arrays.iter().any(|a| !a.busy) {
-            return;
+            return Ok(());
         }
-        let victim = self
-            .arrays
-            .iter()
-            .enumerate()
-            .filter_map(|(i, a)| {
-                a.running
-                    .as_ref()
-                    .filter(|r| !r.batch.high_priority)
-                    .map(|r| (r.done, std::cmp::Reverse(i)))
-                    .map(|key| (key, i))
-            })
-            .max_by_key(|&(key, _)| key)
-            .map(|(_, i)| i);
-        let Some(victim) = victim else { return };
+        // Finish time without preempting: the first array to free runs
+        // the request next (high lane outranks resume + normal lanes).
+        let mut wait_finish = u64::MAX;
+        // Finish time with preempting, per candidate victim.
+        let mut best: Option<(u64, u64, usize)> = None; // (finish, done, array)
+        for a in 0..self.arrays.len() {
+            let Some(run) = self.arrays[a].running.as_ref() else {
+                continue;
+            };
+            let done = run.done;
+            let high = run.batch.high_priority;
+            let cost = self.oracle.request_cycles(a, net, 1)?;
+            wait_finish = wait_finish.min(done.saturating_add(cost));
+            if high {
+                continue; // never evict another high-priority batch
+            }
+            let finish = now.saturating_add(cost);
+            let better = match best {
+                None => true,
+                Some((bf, bd, _)) => finish < bf || (finish == bf && done > bd),
+            };
+            if better {
+                best = Some((finish, done, a));
+            }
+        }
+        let Some((finish, _, victim)) = best else {
+            return Ok(());
+        };
+        if finish >= wait_finish {
+            return Ok(()); // waiting is at least as fast: don't waste work
+        }
         let state = &mut self.arrays[victim];
         state.gen += 1; // invalidate the in-flight ArrayDone
         state.busy = false;
         let Some(run) = state.running.take() else {
-            return;
+            return Ok(());
         };
         state.busy_cycles += now.saturating_sub(run.started);
         let spec = self.pod.arrays[victim];
@@ -297,6 +329,29 @@ impl<'a> Engine<'a> {
             batch: run.batch,
             remaining,
         });
+        Ok(())
+    }
+
+    /// Launches `batch` on whichever of the `idle` arrays prices it
+    /// cheapest.
+    fn launch_cheapest(
+        &mut self,
+        idle: &[usize],
+        batch: Batch,
+        now: u64,
+    ) -> Result<(), ServeError> {
+        let size = batch.requests.len();
+        let mut best = idle[0];
+        let mut best_cost = u64::MAX;
+        for &a in idle {
+            let cost = self.oracle.request_cycles(a, batch.net, size)?;
+            if cost < best_cost {
+                best_cost = cost;
+                best = a;
+            }
+        }
+        self.launch(best, batch, best_cost, now, false);
+        Ok(())
     }
 
     fn dispatch_whole(&mut self, now: u64) -> Result<(), ServeError> {
@@ -307,6 +362,15 @@ impl<'a> Engine<'a> {
             if idle.is_empty() {
                 break;
             }
+            // The high-priority lane outranks preempted work: when an
+            // eviction frees an array, the triggering request must take
+            // it, not the victim it just displaced.
+            self.tick_depth(now);
+            if let Some(batch) = self.queue.pop_high() {
+                self.note_depth(now);
+                self.launch_cheapest(&idle, batch, now)?;
+                continue;
+            }
             if let Some(job) = self.resume.pop_front() {
                 // Remaining cycles were measured on the victim array;
                 // re-running them anywhere at face value idealises the
@@ -314,23 +378,12 @@ impl<'a> Engine<'a> {
                 self.launch(idle[0], job.batch, job.remaining, now, true);
                 continue;
             }
-            self.tick_depth(now);
             let Some(batch) = self.queue.pop_batch(now) else {
                 self.note_depth(now);
                 break;
             };
             self.note_depth(now);
-            let size = batch.requests.len();
-            let mut best = idle[0];
-            let mut best_cost = u64::MAX;
-            for &a in &idle {
-                let cost = self.oracle.request_cycles(a, batch.net, size)?;
-                if cost < best_cost {
-                    best_cost = cost;
-                    best = a;
-                }
-            }
-            self.launch(best, batch, best_cost, now, false);
+            self.launch_cheapest(&idle, batch, now)?;
         }
         self.schedule_deadline(now, !self.arrays.iter().all(|a| a.busy));
         Ok(())
@@ -353,6 +406,10 @@ impl<'a> Engine<'a> {
                     .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
+                // Credited outside the share==0 skip so the per-array
+                // requests == completed invariant holds even for an
+                // all-zero shard plan.
+                self.arrays[critical].requests += batch.requests.len() as u64;
                 for (a, &share) in plan.shares.iter().enumerate() {
                     if share == 0 {
                         continue;
@@ -360,9 +417,6 @@ impl<'a> Engine<'a> {
                     let state = &mut self.arrays[a];
                     state.busy_cycles += share;
                     state.batches += 1;
-                    if a == critical {
-                        state.requests += batch.requests.len() as u64;
-                    }
                     if let Some(trace) = self.trace.as_deref_mut() {
                         trace.batch_span(a, now, now + share, &label);
                     }
@@ -500,6 +554,7 @@ pub fn simulate(
             .collect(),
         slo_target,
         latencies: Vec::with_capacity(cfg.requests.min(2_000_000) as usize),
+        high_latencies: Vec::new(),
         net_completed: vec![0; n_nets],
         net_slo_met: vec![0; n_nets],
         offered: 0,
@@ -539,7 +594,8 @@ pub fn simulate(
                 };
                 engine.next_id += 1;
                 engine.tick_depth(now);
-                if !engine.queue.push(pending) {
+                let admitted = engine.queue.push(pending);
+                if !admitted {
                     engine.dropped += 1;
                 }
                 engine.note_depth(now);
@@ -554,8 +610,10 @@ pub fn simulate(
                         },
                     );
                 }
-                if cfg.preemption && high {
-                    engine.maybe_preempt(now);
+                // Only an admitted high-priority request may evict;
+                // preempting for a dropped arrival is pure added work.
+                if cfg.preemption && high && admitted {
+                    engine.maybe_preempt(now, net)?;
                 }
                 engine.dispatch(now)?;
             }
@@ -638,7 +696,9 @@ pub fn simulate(
         events: engine.events,
         makespan_cycles: engine.makespan,
         slo_met,
+        high_priority_completed: engine.high_latencies.len() as u64,
         latency: LatencyStats::from_latencies(&engine.latencies),
+        high_priority_latency: LatencyStats::from_latencies(&engine.high_latencies),
         queue: QueueStats {
             mean_depth: engine.depth_area as f64 / makespan as f64,
             max_depth: engine.max_depth,
@@ -823,6 +883,54 @@ mod tests {
         // Preempted work still finishes: nothing is lost.
         let per_net: u64 = report.networks.iter().map(|n| n.completed).sum();
         assert_eq!(per_net, report.completed);
+    }
+
+    #[test]
+    fn preemption_cuts_high_priority_latency() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let base = ServeConfig {
+            high_priority_frac: 0.2,
+            load: 1.2,
+            ..base_cfg(600)
+        };
+        let without = simulate(
+            &pod,
+            &workload,
+            &ServeConfig {
+                preemption: false,
+                ..base.clone()
+            },
+            None,
+        )
+        .expect("sim");
+        let with = simulate(
+            &pod,
+            &workload,
+            &ServeConfig {
+                preemption: true,
+                ..base
+            },
+            None,
+        )
+        .expect("sim");
+        assert!(with.preemptions > 0, "overload must trigger preemptions");
+        assert!(without.high_priority_completed > 0);
+        assert!(with.high_priority_completed > 0);
+        // The point of preemption: the high-priority tail gets shorter,
+        // not just "preemptions happened".
+        assert!(
+            with.high_priority_latency.mean < without.high_priority_latency.mean,
+            "preemption must cut mean high-priority latency: {} !< {}",
+            with.high_priority_latency.mean,
+            without.high_priority_latency.mean
+        );
+        assert!(
+            with.high_priority_latency.p99 <= without.high_priority_latency.p99,
+            "preemption must not lengthen the high-priority p99: {} > {}",
+            with.high_priority_latency.p99,
+            without.high_priority_latency.p99
+        );
     }
 
     #[test]

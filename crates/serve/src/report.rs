@@ -158,8 +158,14 @@ pub struct ServeReport {
     pub makespan_cycles: u64,
     /// Completions within their network's SLO target.
     pub slo_met: u64,
+    /// High-priority requests completed (members of `completed`).
+    pub high_priority_completed: u64,
     /// Latency distribution over completed requests.
     pub latency: LatencyStats,
+    /// Latency distribution over the high-priority subset (all zeros
+    /// when no high-priority traffic completed). Preemption exists to
+    /// bend exactly these percentiles down.
+    pub high_priority_latency: LatencyStats,
     /// Queue-depth statistics.
     pub queue: QueueStats,
     /// Offered request rate, requests per million cycles.
@@ -202,7 +208,12 @@ impl ServeReport {
         let _ = writeln!(out, "    \"preemptions\": {},", self.preemptions);
         let _ = writeln!(out, "    \"events\": {},", self.events);
         let _ = writeln!(out, "    \"makespan_cycles\": {},", self.makespan_cycles);
-        let _ = writeln!(out, "    \"slo_met\": {}", self.slo_met);
+        let _ = writeln!(out, "    \"slo_met\": {},", self.slo_met);
+        let _ = writeln!(
+            out,
+            "    \"high_priority_completed\": {}",
+            self.high_priority_completed
+        );
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"latency_cycles\": {{");
         let _ = writeln!(out, "    \"mean\": {:.3},", self.latency.mean);
@@ -210,6 +221,13 @@ impl ServeReport {
         let _ = writeln!(out, "    \"p99\": {},", self.latency.p99);
         let _ = writeln!(out, "    \"p999\": {},", self.latency.p999);
         let _ = writeln!(out, "    \"max\": {}", self.latency.max);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"high_priority_latency_cycles\": {{");
+        let _ = writeln!(out, "    \"mean\": {:.3},", self.high_priority_latency.mean);
+        let _ = writeln!(out, "    \"p50\": {},", self.high_priority_latency.p50);
+        let _ = writeln!(out, "    \"p99\": {},", self.high_priority_latency.p99);
+        let _ = writeln!(out, "    \"p999\": {},", self.high_priority_latency.p999);
+        let _ = writeln!(out, "    \"max\": {}", self.high_priority_latency.max);
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"queue_depth\": {{");
         let _ = writeln!(out, "    \"mean\": {:.3},", self.queue.mean_depth);
@@ -309,6 +327,17 @@ impl ServeReport {
             self.latency.p999,
             self.latency.max
         );
+        if self.high_priority_completed > 0 {
+            let _ = writeln!(
+                out,
+                "high-priority ({} reqs): mean {:.0}  p50 {}  p99 {}  max {}",
+                self.high_priority_completed,
+                self.high_priority_latency.mean,
+                self.high_priority_latency.p50,
+                self.high_priority_latency.p99,
+                self.high_priority_latency.max
+            );
+        }
         let _ = writeln!(
             out,
             "queue depth: mean {:.1}  max {}   slo_met {}/{} (x{:.1} target)",
@@ -391,7 +420,9 @@ mod tests {
             events: 9,
             makespan_cycles: 1000,
             slo_met: 3,
+            high_priority_completed: 0,
             latency: LatencyStats::from_latencies(&[10, 20, 30]),
+            high_priority_latency: LatencyStats::from_latencies(&[]),
             queue: QueueStats {
                 mean_depth: 0.5,
                 max_depth: 2,
