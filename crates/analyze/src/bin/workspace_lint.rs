@@ -23,7 +23,11 @@
 //!    doc comment — the serving simulator is the workspace's newest
 //!    public surface and `#![warn(missing_docs)]` alone only warns
 //!    (`pub use` re-exports and `pub(crate)` items are exempt; modules
-//!    document themselves with inner `//!` comments).
+//!    document themselves with inner `//!` comments);
+//! 8. the same doc-comment rule for `crates/analyze` library code — the
+//!    analyzer's diagnostic vocabulary and rule entry points are public
+//!    contract surface too (its `src/bin/` tree, this driver included,
+//!    is a binary and exempt like rules 5/6).
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -212,7 +216,7 @@ fn check_pub_docs(root: &Path, rel: &str, findings: &mut Vec<String>) {
         };
         if !documented {
             findings.push(format!(
-                "{rel}:{}: undocumented `pub` item (serve API requires /// docs)",
+                "{rel}:{}: undocumented `pub` item (public API requires /// docs)",
                 i + 1
             ));
         }
@@ -370,20 +374,31 @@ fn main() -> ExitCode {
         }
     }
 
-    // Rule 7: the serving simulator's public API is fully documented.
-    for path in rs_files(&root.join("crates/serve/src")) {
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .into_owned();
-        check_pub_docs(&root, &rel, &mut findings);
+    // Rules 7 + 8: the serving simulator's and the analyzer's public
+    // APIs are fully documented. The analyzer's `src/bin/` tree (this
+    // driver) is a binary and exempt, like rules 5/6.
+    for dir in [
+        root.join("crates/serve/src"),
+        root.join("crates/analyze/src"),
+    ] {
+        let bin_dir = dir.join("bin");
+        for path in rs_files(&dir) {
+            if path.starts_with(&bin_dir) {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            check_pub_docs(&root, &rel, &mut findings);
+        }
     }
 
     if findings.is_empty() {
         println!(
             "workspace-lint: {} crate roots, the latency/simulator sources, library \
-             stdio and host-clock discipline, serve API docs, and all \
+             stdio and host-clock discipline, serve and analyze API docs, and all \
              workspace/example/test suppressions are clean",
             roots.len() + 1
         );
@@ -394,5 +409,63 @@ fn main() -> ExitCode {
         }
         println!("workspace-lint: {} violation(s)", findings.len());
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `check_pub_docs` on `source` written to a scratch file,
+    /// returning the findings it produced.
+    fn pub_doc_findings(name: &str, source: &str) -> Vec<String> {
+        let dir = std::env::temp_dir().join("fuseconv-workspace-lint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(&path, source).unwrap();
+        let mut findings = Vec::new();
+        check_pub_docs(&dir, name, &mut findings);
+        fs::remove_file(&path).unwrap();
+        findings
+    }
+
+    #[test]
+    fn undocumented_pub_items_are_flagged() {
+        let findings = pub_doc_findings(
+            "undocumented.rs",
+            "pub fn naked() {}\n\n#[derive(Debug)]\npub struct AlsoNaked;\n",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("undocumented.rs:1"), "{findings:?}");
+        // The attribute walk-back must not mistake `#[derive(..)]` for
+        // a doc comment.
+        assert!(findings[1].contains("undocumented.rs:4"), "{findings:?}");
+    }
+
+    #[test]
+    fn documented_and_exempt_pub_items_pass() {
+        let findings = pub_doc_findings(
+            "documented.rs",
+            concat!(
+                "/// Documented directly.\n",
+                "pub fn fine() {}\n",
+                "/// Documented through an attribute stack.\n",
+                "#[derive(Debug)]\n",
+                "pub struct Fine;\n",
+                "pub use other::Thing;\n",
+                "pub mod submodule;\n",
+                "pub(crate) fn internal() {}\n",
+            ),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_module_code_is_exempt() {
+        let findings = pub_doc_findings(
+            "test_only.rs",
+            "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

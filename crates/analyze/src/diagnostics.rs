@@ -71,14 +71,46 @@ pub enum RuleId {
     /// A FuSe substitution changes the output shape of the depthwise block
     /// it replaces.
     Shp002SubstitutionShapeChange,
+    /// Offered load ρ = Σ rateᵢ·E[costᵢ] / pod capacity ≥ 1: the open-loop
+    /// arrival process outruns the pod and the queue diverges.
+    Srv001PodOverload,
+    /// A network's zero-queueing latency floor on its cheapest array
+    /// already exceeds the configured absolute SLO budget.
+    Srv002SloUnattainable,
+    /// A network in the mix has no provisioned shape bucket under
+    /// bucketed batching: every one of its requests is rejected at
+    /// admission.
+    Srv003BucketUncovered,
+    /// The LPT shard plan is illegal: shares fail to partition the op
+    /// list, disagree with recomputed per-array sums, or an op's fold
+    /// plan fails the PLAN audit on its target array.
+    Srv004ShardPlanIllegal,
+    /// The bounded admission queue is statically guaranteed to drop:
+    /// expected arrivals during one worst-case service window exceed
+    /// the configured capacity even at ρ < 1.
+    Srv005QueueUndersized,
+    /// Preemption is configured but statically dead (zero high-priority
+    /// traffic) or perverse (refill penalty provably exceeds the best
+    /// possible latency cut).
+    Srv006PreemptionDeadOrPerverse,
+    /// An array is never the cheapest choice for any network under
+    /// whole-request dispatch: predicted utilization 0 until every
+    /// cheaper array saturates.
+    Srv007StaticallyDeadArray,
 }
 
 impl RuleId {
+    /// Number of rules the analyzer ships. Tied to [`Self::ALL`]'s
+    /// length and to the exhaustive match in [`Self::ordinal`], so a
+    /// new `RuleId` variant fails to compile until it is registered in
+    /// both places — catalogue registration cannot be forgotten.
+    pub const COUNT: usize = 28;
+
     /// Every rule the analyzer ships, in catalogue order. Pinned by the
     /// `tests/golden/analyze_schema.json` regression test: extending the
     /// list is additive, renaming or removing an entry is a breaking
     /// change to the machine-readable report surface.
-    pub const ALL: [RuleId; 21] = [
+    pub const ALL: [RuleId; RuleId::COUNT] = [
         RuleId::Ria001MultipleAssignment,
         RuleId::Ria002NonConstantOffset,
         RuleId::Ria003RankMismatch,
@@ -100,7 +132,52 @@ impl RuleId {
         RuleId::Mem003BandwidthInfeasible,
         RuleId::Shp001ShapeMismatch,
         RuleId::Shp002SubstitutionShapeChange,
+        RuleId::Srv001PodOverload,
+        RuleId::Srv002SloUnattainable,
+        RuleId::Srv003BucketUncovered,
+        RuleId::Srv004ShardPlanIllegal,
+        RuleId::Srv005QueueUndersized,
+        RuleId::Srv006PreemptionDeadOrPerverse,
+        RuleId::Srv007StaticallyDeadArray,
     ];
+
+    /// The rule's position in [`Self::ALL`]. The match is exhaustive on
+    /// purpose: adding a variant without extending it (and bumping
+    /// [`Self::COUNT`], which sizes `ALL`) is a compile error, and the
+    /// `all_is_exhaustive_and_ordered` test pins `ALL[ordinal] == self`
+    /// so the two registrations cannot drift apart.
+    pub fn ordinal(self) -> usize {
+        match self {
+            RuleId::Ria001MultipleAssignment => 0,
+            RuleId::Ria002NonConstantOffset => 1,
+            RuleId::Ria003RankMismatch => 2,
+            RuleId::Sch001ScheduleViolatesDependence => 3,
+            RuleId::Loc001NonLocalProjection => 4,
+            RuleId::Loc002BroadcastLinkRequired => 5,
+            RuleId::Res001CycleArithmeticOverflow => 6,
+            RuleId::Res002DegenerateOp => 7,
+            RuleId::Res003SramAddressOverflow => 8,
+            RuleId::Utl001SingleColumnGemm => 9,
+            RuleId::Utl002SingleRowGemm => 10,
+            RuleId::Utl003ComputeStallDominated => 11,
+            RuleId::Plan001CoverageGap => 12,
+            RuleId::Plan002Overlap => 13,
+            RuleId::Plan003OversizedTile => 14,
+            RuleId::Plan004MacsMismatch => 15,
+            RuleId::Mem001FoldExceedsSram => 16,
+            RuleId::Mem002DoubleBufferExceedsSram => 17,
+            RuleId::Mem003BandwidthInfeasible => 18,
+            RuleId::Shp001ShapeMismatch => 19,
+            RuleId::Shp002SubstitutionShapeChange => 20,
+            RuleId::Srv001PodOverload => 21,
+            RuleId::Srv002SloUnattainable => 22,
+            RuleId::Srv003BucketUncovered => 23,
+            RuleId::Srv004ShardPlanIllegal => 24,
+            RuleId::Srv005QueueUndersized => 25,
+            RuleId::Srv006PreemptionDeadOrPerverse => 26,
+            RuleId::Srv007StaticallyDeadArray => 27,
+        }
+    }
 
     /// The rule's stable short code (e.g. `"SCH001"`).
     pub fn code(&self) -> &'static str {
@@ -126,6 +203,13 @@ impl RuleId {
             RuleId::Mem003BandwidthInfeasible => "MEM003",
             RuleId::Shp001ShapeMismatch => "SHP001",
             RuleId::Shp002SubstitutionShapeChange => "SHP002",
+            RuleId::Srv001PodOverload => "SRV001",
+            RuleId::Srv002SloUnattainable => "SRV002",
+            RuleId::Srv003BucketUncovered => "SRV003",
+            RuleId::Srv004ShardPlanIllegal => "SRV004",
+            RuleId::Srv005QueueUndersized => "SRV005",
+            RuleId::Srv006PreemptionDeadOrPerverse => "SRV006",
+            RuleId::Srv007StaticallyDeadArray => "SRV007",
         }
     }
 
@@ -190,6 +274,27 @@ impl RuleId {
             }
             RuleId::Shp002SubstitutionShapeChange => {
                 "FuSe substitution must preserve the replaced block's output shape"
+            }
+            RuleId::Srv001PodOverload => {
+                "offered load must stay below aggregate pod capacity (rho < 1)"
+            }
+            RuleId::Srv002SloUnattainable => {
+                "each network's zero-queueing floor must fit its SLO budget"
+            }
+            RuleId::Srv003BucketUncovered => {
+                "every workload network needs a provisioned shape bucket"
+            }
+            RuleId::Srv004ShardPlanIllegal => {
+                "LPT shares must partition the op list with every share feasible"
+            }
+            RuleId::Srv005QueueUndersized => {
+                "the admission queue must absorb the configured burst at rho < 1"
+            }
+            RuleId::Srv006PreemptionDeadOrPerverse => {
+                "preemption needs live high-priority traffic and a worthwhile refill"
+            }
+            RuleId::Srv007StaticallyDeadArray => {
+                "every array should be cheapest for some network under whole dispatch"
             }
         }
     }
@@ -395,6 +500,28 @@ mod tests {
     }
 
     #[test]
+    fn all_is_exhaustive_and_ordered() {
+        // `ordinal`'s match is exhaustive over RuleId and `ALL`'s length
+        // is `COUNT`; here the two registrations are pinned against each
+        // other, so a variant cannot appear in one without the other.
+        assert_eq!(RuleId::ALL.len(), RuleId::COUNT);
+        for (i, rule) in RuleId::ALL.iter().enumerate() {
+            assert_eq!(
+                rule.ordinal(),
+                i,
+                "{} is out of catalogue order in RuleId::ALL",
+                rule.code()
+            );
+        }
+        // Codes are unique — a copy-paste duplicate in ALL would shadow
+        // a missing variant.
+        let mut codes: Vec<&str> = RuleId::ALL.iter().map(RuleId::code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), RuleId::COUNT);
+    }
+
+    #[test]
     fn codes_are_stable() {
         assert_eq!(RuleId::Ria001MultipleAssignment.code(), "RIA001");
         assert_eq!(RuleId::Sch001ScheduleViolatesDependence.code(), "SCH001");
@@ -408,6 +535,13 @@ mod tests {
         assert_eq!(RuleId::Mem003BandwidthInfeasible.code(), "MEM003");
         assert_eq!(RuleId::Shp001ShapeMismatch.code(), "SHP001");
         assert_eq!(RuleId::Shp002SubstitutionShapeChange.code(), "SHP002");
+        assert_eq!(RuleId::Srv001PodOverload.code(), "SRV001");
+        assert_eq!(RuleId::Srv002SloUnattainable.code(), "SRV002");
+        assert_eq!(RuleId::Srv003BucketUncovered.code(), "SRV003");
+        assert_eq!(RuleId::Srv004ShardPlanIllegal.code(), "SRV004");
+        assert_eq!(RuleId::Srv005QueueUndersized.code(), "SRV005");
+        assert_eq!(RuleId::Srv006PreemptionDeadOrPerverse.code(), "SRV006");
+        assert_eq!(RuleId::Srv007StaticallyDeadArray.code(), "SRV007");
     }
 
     #[test]

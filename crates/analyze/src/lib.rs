@@ -30,6 +30,13 @@
 //!    whole topologies — consecutive blocks agree on the flowing shape,
 //!    and every FuSe substitution preserves the output shape of the
 //!    depthwise block it replaces (§IV-A's drop-in contract).
+//! 9. **Serving feasibility** (SRV001–SRV007): static proofs about a
+//!    whole pod/workload/SLO deployment from the analytic cost oracle
+//!    alone — pod overload (ρ ≥ 1), unattainable SLO budgets, shape
+//!    bucket coverage, LPT shard-plan legality, admission-queue sizing,
+//!    dead or perverse preemption, and statically-dead arrays — so
+//!    `fuseconv serve` can refuse a million-request simulation of a
+//!    configuration already provably broken.
 //!
 //! Findings are structured [`Diagnostic`]s (stable rule ID, severity,
 //! offending dependence vector, suggested fix) aggregated into
@@ -51,6 +58,7 @@ pub mod mapping;
 pub mod memory;
 pub mod ops;
 pub mod plan;
+pub mod serve;
 pub mod shapes;
 
 pub use diagnostics::{Diagnostic, Report, RuleId, Severity};
@@ -58,4 +66,5 @@ pub use mapping::{analyze_dataflows, analyze_mapping};
 pub use memory::{analyze_memory, diagnose_memory, MemoryBudget};
 pub use ops::{analyze_network, analyze_network_with_budget, analyze_op, gemm_dataflow_kind};
 pub use plan::{analyze_plan, diagnose_plan};
+pub use serve::analyze_pod;
 pub use shapes::analyze_shapes;

@@ -6,7 +6,15 @@ use std::fmt;
 /// Flags that take no value: `--name` alone means `--name true`.
 /// (`--name=value` still works for these, which is how `profile`'s
 /// `--chrome-trace[=PATH]` / `--metrics-json[=PATH]` take optional paths.)
-const SWITCHES: &[&str] = &["all", "json", "chrome-trace", "metrics-json", "preempt"];
+const SWITCHES: &[&str] = &[
+    "all",
+    "json",
+    "chrome-trace",
+    "metrics-json",
+    "preempt",
+    "serve",
+    "force",
+];
 
 /// A parsed command line: the subcommand and its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

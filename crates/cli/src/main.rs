@@ -14,6 +14,7 @@
 //!                    [--layer N] [--format scalesim|chrome|heatmap] [--out trace.json]
 //! fuseconv analyze   [--all | --network NAME] [--variant baseline|full|half]
 //!                    [--array 64] [--format text|json] [--out PATH]
+//! fuseconv analyze   --serve [serve flags] [--format text|json] [--out PATH]
 //! fuseconv perf      [--network MobileNet-V2] [--variant baseline|full|half]
 //!                    [--array 64] [--bytes-per-elem 2] [--bandwidth 64]
 //!                    [--format text|json] [--out PATH]
@@ -26,7 +27,8 @@
 //!                    [--variant baseline|full|half] [--requests N] [--load F]
 //!                    [--policy fifo|dynamic|bucketed] [--max-batch N] [--max-wait N]
 //!                    [--dispatch whole|sharded] [--preempt[=false]] [--high-frac F]
-//!                    [--queue-cap N] [--slo-mult F] [--seed N]
+//!                    [--queue-cap N] [--slo-mult F] [--slo-budget N] [--buckets N]
+//!                    [--seed N] [--force]
 //!                    [--format text|json] [--out PATH] [--chrome-trace[=PATH]]
 //! fuseconv help
 //! ```
@@ -84,6 +86,10 @@ COMMANDS:
              tensor shape flow (SHP) — all before any simulation
              [--all | --network NAME] [--variant baseline|full|half]
              [--format text|json] [--out PATH]; exits nonzero on error findings
+             --serve: serving-feasibility mode (SRV rules) — statically prove
+             pod capacity (rho < 1), SLO attainability, bucket coverage,
+             shard-plan legality, queue sizing and preemption sanity for a
+             pod/workload/SLO deployment; accepts all `serve` flags
   perf       cycle-accounted performance counters (fill/active/bubble/drain with
              sum == total cycles), stall attribution and a roofline/efficiency
              report from the analytic fold plans
@@ -114,6 +120,12 @@ COMMANDS:
              [--dispatch whole|sharded]  whole-array or LPT-sharded batches
              [--preempt[=false]] [--high-frac F]  priority traffic + fold-level preemption
              [--queue-cap N] [--slo-mult F] [--seed N]
+             [--slo-budget N]  absolute SLO latency budget in cycles
+                               (overrides --slo-mult)
+             [--buckets N]  only the first N networks get shape buckets
+                            (bucketed policy only; uncovered requests drop)
+             [--force]  simulate even when the static preflight
+                        (fuseconv analyze --serve) proves the config infeasible
              [--format text|json] [--out PATH]
              [--chrome-trace[=PATH]]  per-array lanes (default serve_trace.json)
   help       this text
@@ -127,6 +139,107 @@ fn find_network(name: &str) -> Option<Network> {
         .into_iter()
         .chain([zoo::resnet50(), zoo::efficientnet_b0()])
         .find(|n| n.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses the pod / workload / serving-config flags shared by
+/// `fuseconv serve` and `fuseconv analyze --serve`, so the simulator
+/// and its static preflight always see the same configuration.
+fn serve_setup(
+    parsed: &ParsedArgs,
+) -> Result<(serve::PodSpec, serve::Workload, serve::ServeConfig), String> {
+    let pod_spec = parsed
+        .flag("pod")
+        .unwrap_or("64x64:os,32x32:ws,16x16:os,8x8:os");
+    let pod = serve::PodSpec::parse(pod_spec).map_err(|e| e.to_string())?;
+    let names = parsed.flag("networks").unwrap_or("MobileNet-V2");
+    let mut networks: Vec<Network> = if names == "zoo" {
+        zoo::all_baselines()
+    } else {
+        names
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|name| {
+                find_network(name.trim())
+                    .ok_or_else(|| format!("unknown network `{}`", name.trim()))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    match parsed.flag("variant").unwrap_or("full") {
+        "baseline" => {}
+        "full" => {
+            networks = networks
+                .iter()
+                .map(|n| n.transform_all(FuSeVariant::Full))
+                .collect();
+        }
+        "half" => {
+            networks = networks
+                .iter()
+                .map(|n| n.transform_all(FuSeVariant::Half))
+                .collect();
+        }
+        other => {
+            return Err(format!(
+                "--variant must be baseline, full or half, got `{other}`"
+            ))
+        }
+    }
+    let workload = serve::Workload::uniform(networks).map_err(|e| e.to_string())?;
+    let requests = parsed
+        .usize_flag("requests", 100_000)
+        .map_err(|e| e.to_string())?;
+    let max_batch = parsed
+        .usize_flag("max-batch", 8)
+        .map_err(|e| e.to_string())?;
+    let max_wait = parsed
+        .usize_flag("max-wait", 50_000)
+        .map_err(|e| e.to_string())?;
+    let policy_name = parsed.flag("policy").unwrap_or("fifo");
+    let policy =
+        serve::BatchPolicy::parse(policy_name, max_batch, max_wait as u64).ok_or_else(|| {
+            format!("--policy must be fifo, dynamic or bucketed, got `{policy_name}`")
+        })?;
+    let dispatch_name = parsed.flag("dispatch").unwrap_or("whole");
+    let dispatch = serve::Dispatch::parse(dispatch_name)
+        .ok_or_else(|| format!("--dispatch must be whole or sharded, got `{dispatch_name}`"))?;
+    // A switch, but negatable: `--preempt=false` / `--preempt=0`
+    // explicitly disables it.
+    let preemption = parsed
+        .flag("preempt")
+        .is_some_and(|v| v != "false" && v != "0");
+    let high_default = if preemption { 0.05 } else { 0.0 };
+    let slo_budget_cycles = match parsed.flag("slo-budget") {
+        None => None,
+        Some(_) => Some(
+            parsed
+                .usize_flag("slo-budget", 0)
+                .map_err(|e| e.to_string())? as u64,
+        ),
+    };
+    let shape_buckets = match parsed.flag("buckets") {
+        None => None,
+        Some(_) => Some(parsed.usize_flag("buckets", 0).map_err(|e| e.to_string())?),
+    };
+    let cfg = serve::ServeConfig {
+        policy,
+        dispatch,
+        preemption,
+        queue_capacity: parsed
+            .usize_flag("queue-cap", 4096)
+            .map_err(|e| e.to_string())?,
+        requests: requests as u64,
+        load: parsed.f64_flag("load", 0.8).map_err(|e| e.to_string())?,
+        seed: parsed.usize_flag("seed", 42).map_err(|e| e.to_string())? as u64,
+        high_priority_frac: parsed
+            .f64_flag("high-frac", high_default)
+            .map_err(|e| e.to_string())?,
+        slo_multiplier: parsed
+            .f64_flag("slo-mult", 10.0)
+            .map_err(|e| e.to_string())?,
+        slo_budget_cycles,
+        shape_buckets,
+    };
+    Ok((pod, workload, cfg))
 }
 
 fn array_of(parsed: &ParsedArgs) -> Result<ArrayConfig, String> {
@@ -378,6 +491,33 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             }
         }
         "analyze" => {
+            if parsed.flag("serve").is_some() {
+                // Serving-feasibility mode: audit a pod/workload/SLO
+                // deployment statically instead of per-network mappings.
+                let (pod, workload, cfg) = serve_setup(parsed)?;
+                let report =
+                    analyze::analyze_pod(&pod, &workload, &cfg).map_err(|e| e.to_string())?;
+                let rendered = match parsed.flag("format").unwrap_or("text") {
+                    "text" => report.to_text(),
+                    "json" => report.to_json(),
+                    other => return Err(format!("--format must be text or json, got `{other}`")),
+                };
+                match parsed.flag("out") {
+                    Some(path) => {
+                        std::fs::write(path, &rendered)
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                        println!("{path}");
+                    }
+                    None => println!("{}", rendered.trim_end()),
+                }
+                if report.has_errors() {
+                    return Err(format!(
+                        "{} error-severity diagnostic(s)",
+                        report.error_count()
+                    ));
+                }
+                return Ok(());
+            }
             let array = array_of(parsed)?;
             let model = LatencyModel::new(array);
             let nets: Vec<Network> = if parsed.flag("all").is_some() {
@@ -662,85 +802,22 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            let pod_spec = parsed
-                .flag("pod")
-                .unwrap_or("64x64:os,32x32:ws,16x16:os,8x8:os");
-            let pod = serve::PodSpec::parse(pod_spec).map_err(|e| e.to_string())?;
-            let names = parsed.flag("networks").unwrap_or("MobileNet-V2");
-            let mut networks: Vec<Network> = if names == "zoo" {
-                zoo::all_baselines()
-            } else {
-                names
-                    .split(',')
-                    .filter(|s| !s.trim().is_empty())
-                    .map(|name| {
-                        find_network(name.trim())
-                            .ok_or_else(|| format!("unknown network `{}`", name.trim()))
-                    })
-                    .collect::<Result<_, _>>()?
-            };
-            match parsed.flag("variant").unwrap_or("full") {
-                "baseline" => {}
-                "full" => {
-                    networks = networks
-                        .iter()
-                        .map(|n| n.transform_all(FuSeVariant::Full))
-                        .collect();
-                }
-                "half" => {
-                    networks = networks
-                        .iter()
-                        .map(|n| n.transform_all(FuSeVariant::Half))
-                        .collect();
-                }
-                other => {
-                    return Err(format!(
-                        "--variant must be baseline, full or half, got `{other}`"
-                    ))
-                }
+            let (pod, workload, cfg) = serve_setup(parsed)?;
+            // Static preflight: prove the deployment feasible before
+            // spending a single simulated cycle on it.
+            let preflight =
+                analyze::analyze_pod(&pod, &workload, &cfg).map_err(|e| e.to_string())?;
+            for d in &preflight.diagnostics {
+                telemetry::log::warn("serve", &format!("preflight: {d}"));
             }
-            let workload = serve::Workload::uniform(networks).map_err(|e| e.to_string())?;
-            let requests = parsed
-                .usize_flag("requests", 100_000)
-                .map_err(|e| e.to_string())?;
-            let max_batch = parsed
-                .usize_flag("max-batch", 8)
-                .map_err(|e| e.to_string())?;
-            let max_wait = parsed
-                .usize_flag("max-wait", 50_000)
-                .map_err(|e| e.to_string())?;
-            let policy_name = parsed.flag("policy").unwrap_or("fifo");
-            let policy = serve::BatchPolicy::parse(policy_name, max_batch, max_wait as u64)
-                .ok_or_else(|| {
-                    format!("--policy must be fifo, dynamic or bucketed, got `{policy_name}`")
-                })?;
-            let dispatch_name = parsed.flag("dispatch").unwrap_or("whole");
-            let dispatch = serve::Dispatch::parse(dispatch_name).ok_or_else(|| {
-                format!("--dispatch must be whole or sharded, got `{dispatch_name}`")
-            })?;
-            // A switch, but negatable: `--preempt=false` / `--preempt=0`
-            // explicitly disables it.
-            let preemption = parsed
-                .flag("preempt")
-                .is_some_and(|v| v != "false" && v != "0");
-            let high_default = if preemption { 0.05 } else { 0.0 };
-            let cfg = serve::ServeConfig {
-                policy,
-                dispatch,
-                preemption,
-                queue_capacity: parsed
-                    .usize_flag("queue-cap", 4096)
-                    .map_err(|e| e.to_string())?,
-                requests: requests as u64,
-                load: parsed.f64_flag("load", 0.8).map_err(|e| e.to_string())?,
-                seed: parsed.usize_flag("seed", 42).map_err(|e| e.to_string())? as u64,
-                high_priority_frac: parsed
-                    .f64_flag("high-frac", high_default)
-                    .map_err(|e| e.to_string())?,
-                slo_multiplier: parsed
-                    .f64_flag("slo-mult", 10.0)
-                    .map_err(|e| e.to_string())?,
-            };
+            if preflight.has_errors() && parsed.flag("force").is_none() {
+                return Err(format!(
+                    "preflight: {} error finding(s) statically prove this configuration \
+                     infeasible (pass --force to simulate it anyway):\n{}",
+                    preflight.error_count(),
+                    preflight.to_text().trim_end()
+                ));
+            }
             telemetry::manifest::set_run_seed(cfg.seed);
             let mut sink = parsed
                 .flag("chrome-trace")
@@ -1212,6 +1289,126 @@ mod tests {
         assert!(tr.contains("array 0: 16x16:os"), "{tr}");
         std::fs::remove_file(out).unwrap();
         std::fs::remove_file(trace).unwrap();
+    }
+
+    #[test]
+    fn serve_preflight_refuses_overload_unless_forced() {
+        let base = [
+            "serve",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "50",
+            "--load",
+            "1.5",
+        ];
+        let e = run(&parsed(&base)).unwrap_err();
+        assert!(e.contains("preflight"), "{e}");
+        assert!(e.contains("SRV001"), "{e}");
+        let mut forced = base.to_vec();
+        forced.push("--force");
+        assert!(run(&parsed(&forced)).is_ok());
+    }
+
+    #[test]
+    fn serve_accepts_slo_budget_and_buckets_flags() {
+        // A generous absolute budget passes preflight and the run.
+        assert!(run(&parsed(&[
+            "serve",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "50",
+            "--slo-budget",
+            "999999999999"
+        ]))
+        .is_ok());
+        // --buckets demands the bucketed policy, same as the engine.
+        let e = run(&parsed(&[
+            "serve",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "50",
+            "--buckets",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("bucketed"), "{e}");
+        assert!(run(&parsed(&[
+            "serve",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "50",
+            "--policy",
+            "bucketed",
+            "--buckets",
+            "1"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn analyze_serve_mode_reports_feasibility() {
+        // Clean pod: no findings, exit ok.
+        assert!(run(&parsed(&[
+            "analyze",
+            "--serve",
+            "--pod",
+            "16x16:os,16x16:os",
+            "--networks",
+            "mobilenet-v1"
+        ]))
+        .is_ok());
+        // Overloaded pod: SRV001 is an error finding, so the command fails.
+        let e = run(&parsed(&[
+            "analyze",
+            "--serve",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--load",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("error-severity"), "{e}");
+    }
+
+    #[test]
+    fn analyze_serve_writes_json_with_rule_codes() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-analyze-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("feasibility.json");
+        let out = out.to_str().unwrap();
+        let e = run(&parsed(&[
+            "analyze",
+            "--serve",
+            "--pod",
+            "16x16:os",
+            "--networks",
+            "mobilenet-v1",
+            "--load",
+            "2.0",
+            "--format",
+            "json",
+            "--out",
+            out,
+        ]))
+        .unwrap_err();
+        assert!(e.contains("error-severity"), "{e}");
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.contains("\"rule\":\"SRV001\""), "{text}");
+        std::fs::remove_file(out).unwrap();
     }
 
     #[test]

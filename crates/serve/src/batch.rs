@@ -102,6 +102,7 @@ pub struct Batch {
 pub struct RequestQueue {
     policy: BatchPolicy,
     capacity: usize,
+    covered: usize,
     buckets: Vec<VecDeque<Pending>>,
     high: VecDeque<Pending>,
     len: usize,
@@ -109,15 +110,26 @@ pub struct RequestQueue {
 
 impl RequestQueue {
     /// An empty queue for `nets` networks holding at most `capacity`
-    /// requests under `policy`.
+    /// requests under `policy`. Every network starts with a
+    /// provisioned shape bucket; see [`Self::with_covered_buckets`].
     pub fn new(policy: BatchPolicy, capacity: usize, nets: usize) -> Self {
         RequestQueue {
             policy,
             capacity: capacity.max(1),
+            covered: nets,
             buckets: (0..nets).map(|_| VecDeque::new()).collect(),
             high: VecDeque::new(),
             len: 0,
         }
+    }
+
+    /// Limits admission to the first `covered` networks: shape-bucketed
+    /// serving provisions a fixed set of compiled batch shapes, and a
+    /// request whose network has no bucket cannot be queued at all —
+    /// [`Self::push`] rejects it exactly like an at-capacity queue.
+    pub fn with_covered_buckets(mut self, covered: usize) -> Self {
+        self.covered = covered.min(self.buckets.len());
+        self
     }
 
     /// Requests currently queued (all lanes).
@@ -130,10 +142,11 @@ impl RequestQueue {
         self.len == 0
     }
 
-    /// Admits `p`, or rejects it when the queue is at capacity.
-    /// Returns `true` on admit.
+    /// Admits `p`, or rejects it when the queue is at capacity or when
+    /// `p`'s network has no provisioned shape bucket. Returns `true`
+    /// on admit.
     pub fn push(&mut self, p: Pending) -> bool {
-        if self.len >= self.capacity {
+        if self.len >= self.capacity || p.net >= self.covered {
             return false;
         }
         self.len += 1;
@@ -360,5 +373,25 @@ mod tests {
         assert!(q.push(p(1, 0, 2)));
         assert!(!q.push(p(2, 0, 3)), "third request is dropped");
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn uncovered_networks_are_rejected_at_admission() {
+        let policy = BatchPolicy::Bucketed {
+            max_batch: 2,
+            max_wait: 100,
+        };
+        let mut q = RequestQueue::new(policy, 16, 2).with_covered_buckets(1);
+        assert!(q.push(p(0, 0, 1)), "covered network admits");
+        assert!(!q.push(p(1, 1, 2)), "uncovered network is rejected");
+        // The high-priority lane gets no exemption: no bucket shape
+        // means the request cannot run at all.
+        assert!(!q.push(Pending {
+            id: 2,
+            net: 1,
+            arrived: 3,
+            high_priority: true,
+        }));
+        assert_eq!(q.len(), 1);
     }
 }

@@ -93,12 +93,23 @@ pub struct ServeConfig {
     /// SLO target multiplier over each network's best isolated
     /// batch-1 service time.
     pub slo_multiplier: f64,
+    /// Absolute SLO budget in cycles; when set it overrides the
+    /// relative multiplier for every network. Unlike the multiplier
+    /// (clamped to ≥ 1× the isolated floor, hence always attainable),
+    /// an absolute budget can sit below a network's zero-queueing
+    /// floor — the SRV002 infeasibility the analyzer proves statically.
+    pub slo_budget_cycles: Option<u64>,
+    /// Number of provisioned shape buckets under
+    /// [`BatchPolicy::Bucketed`]: only the first N workload networks
+    /// get a compiled batch shape, requests for the rest are rejected
+    /// at admission. `None` provisions every network.
+    pub shape_buckets: Option<usize>,
 }
 
 impl ServeConfig {
     /// Sensible defaults: FIFO, whole dispatch, no preemption, queue
     /// capacity 4096, 100 000 requests at 80 % load, seed 42, SLO at
-    /// 10× isolated latency.
+    /// 10× isolated latency, every shape bucket provisioned.
     pub fn new() -> Self {
         ServeConfig {
             policy: BatchPolicy::Fifo,
@@ -110,6 +121,8 @@ impl ServeConfig {
             seed: 42,
             high_priority_frac: 0.0,
             slo_multiplier: 10.0,
+            slo_budget_cycles: None,
+            shape_buckets: None,
         }
     }
 }
@@ -316,8 +329,7 @@ impl<'a> Engine<'a> {
             return Ok(());
         };
         state.busy_cycles += now.saturating_sub(run.started);
-        let spec = self.pod.arrays[victim];
-        let refill = (spec.rows + spec.cols) as u64;
+        let refill = self.pod.arrays[victim].refill_penalty();
         let remaining = run.done.saturating_sub(now).saturating_add(refill);
         self.preemptions += 1;
         let label = self.batch_label(&run.batch);
@@ -495,50 +507,40 @@ pub fn simulate(
             "preemption requires whole-request dispatch".to_string(),
         ));
     }
+    if cfg.shape_buckets.is_some() && !matches!(cfg.policy, BatchPolicy::Bucketed { .. }) {
+        return Err(ServeError::Config(
+            "shape buckets require the bucketed batching policy".to_string(),
+        ));
+    }
     let models = pod.models()?;
     let mut oracle = CostOracle::new(models, workload.networks());
     let n_nets = workload.len();
 
-    // SLO targets: slo_multiplier × best isolated batch-1 latency.
+    // SLO targets: the absolute budget when configured, otherwise
+    // slo_multiplier × best isolated batch-1 latency.
     let mut slo_target = Vec::with_capacity(n_nets);
     for net in 0..n_nets {
         let best = oracle.best_cycles(net)? as f64;
-        slo_target.push((best * cfg.slo_multiplier.max(1.0)).round() as u64);
+        slo_target.push(match cfg.slo_budget_cycles {
+            Some(budget) => budget,
+            None => (best * cfg.slo_multiplier.max(1.0)).round() as u64,
+        });
     }
 
-    // Pod capacity estimate (requests/cycle) calibrates offered load.
-    let total_weight: u64 = workload.weights().iter().sum();
-    let mut mix_frac = Vec::with_capacity(n_nets);
-    for &w in workload.weights() {
-        mix_frac.push(w as f64 / total_weight as f64);
-    }
-    let capacity = match cfg.dispatch {
-        Dispatch::Whole => {
-            let mut total = 0.0;
-            for a in 0..pod.len() {
-                let mut mean = 0.0;
-                for (net, &frac) in mix_frac.iter().enumerate() {
-                    mean += frac * oracle.request_cycles(a, net, 1)? as f64;
-                }
-                total += 1.0 / mean;
-            }
-            total
-        }
-        Dispatch::Sharded => {
-            let mut mean = 0.0;
-            for (net, &frac) in mix_frac.iter().enumerate() {
-                mean += frac * oracle.shard_plan(net, 1)?.makespan as f64;
-            }
-            1.0 / mean
-        }
-    };
+    // Pod capacity estimate (requests/cycle) calibrates offered load;
+    // the same oracle formula backs the analyzer's SRV001 ρ, so the
+    // static and simulated offered loads agree by construction.
+    let capacity = oracle.pod_capacity(&workload.mix_fractions(), cfg.dispatch)?;
     let mean_gap = 1.0 / (cfg.load * capacity);
+
+    let covered = cfg.shape_buckets.map_or(n_nets, |k| k.min(n_nets));
 
     let mut engine = Engine {
         pod,
         cfg,
         oracle,
-        queue: RequestQueue::new(cfg.policy, cfg.queue_capacity, n_nets),
+        queue: RequestQueue::new(cfg.policy, cfg.queue_capacity, n_nets)
+            .with_covered_buckets(covered),
         heap: BinaryHeap::new(),
         seq: 0,
         arrays: (0..pod.len()).map(|_| ArrayState::default()).collect(),
@@ -647,6 +649,8 @@ pub fn simulate(
     fuseconv_telemetry::counter("serve.batches_total").add(engine.batches);
     fuseconv_telemetry::counter("serve.preemptions_total").add(engine.preemptions);
     fuseconv_telemetry::counter("serve.events_total").add(engine.events);
+    fuseconv_telemetry::counter("serve.oracle_hits_total").add(engine.oracle.memo_hits());
+    fuseconv_telemetry::counter("serve.oracle_misses_total").add(engine.oracle.memo_misses());
     let latency_hist = fuseconv_telemetry::histogram("serve.latency_cycles");
     for &l in &engine.latencies {
         latency_hist.record(l);
@@ -931,6 +935,78 @@ mod tests {
             with.high_priority_latency.p99,
             without.high_priority_latency.p99
         );
+    }
+
+    #[test]
+    fn slo_budget_overrides_the_relative_multiplier() {
+        let pod = PodSpec::parse("16x16:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        // A 1-cycle budget is below any network's zero-queueing floor:
+        // every completion misses its SLO even at trivial load.
+        let strangled = simulate(
+            &pod,
+            &workload,
+            &ServeConfig {
+                slo_budget_cycles: Some(1),
+                load: 0.1,
+                ..base_cfg(300)
+            },
+            None,
+        )
+        .expect("sim");
+        assert_eq!(strangled.slo_met, 0);
+        assert_eq!(strangled.networks[0].slo_target_cycles, 1);
+        // A generous absolute budget behaves like the default.
+        let roomy = simulate(
+            &pod,
+            &workload,
+            &ServeConfig {
+                slo_budget_cycles: Some(u64::MAX / 2),
+                load: 0.1,
+                ..base_cfg(300)
+            },
+            None,
+        )
+        .expect("sim");
+        assert_eq!(roomy.slo_met, roomy.completed);
+    }
+
+    #[test]
+    fn uncovered_shape_bucket_drops_that_networks_requests() {
+        let pod = PodSpec::parse("16x16:os").expect("pod");
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Bucketed {
+                max_batch: 4,
+                max_wait: 10_000,
+            },
+            shape_buckets: Some(1),
+            ..base_cfg(800)
+        };
+        let report = simulate(&pod, &tiny_workload(), &cfg, None).expect("sim");
+        assert_eq!(
+            report.networks[1].completed, 0,
+            "network without a bucket never completes"
+        );
+        assert!(report.networks[0].completed > 0);
+        assert!(report.dropped > 0);
+        assert_eq!(report.completed + report.dropped, report.offered);
+    }
+
+    #[test]
+    fn shape_buckets_require_the_bucketed_policy() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        assert!(matches!(
+            simulate(
+                &pod,
+                &tiny_workload(),
+                &ServeConfig {
+                    shape_buckets: Some(1),
+                    ..base_cfg(10)
+                },
+                None
+            ),
+            Err(ServeError::Config(_))
+        ));
     }
 
     #[test]

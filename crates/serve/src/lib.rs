@@ -44,7 +44,7 @@ pub mod traffic;
 
 pub use batch::BatchPolicy;
 pub use engine::{simulate, Dispatch, ServeConfig};
-pub use oracle::CostOracle;
+pub use oracle::{CostOracle, ShardPlan};
 pub use report::ServeReport;
 pub use spec::{ArraySpec, PodSpec, ServeError};
 pub use trace::PodTraceSink;

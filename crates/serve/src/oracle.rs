@@ -8,6 +8,7 @@
 //! serving costs one `HashMap` probe per dispatch, and it precomputes
 //! the LPT shard plan used by [`crate::engine::Dispatch::Sharded`].
 
+use crate::engine::Dispatch;
 use crate::spec::ServeError;
 use fuseconv_latency::LatencyModel;
 use fuseconv_models::Network;
@@ -20,6 +21,10 @@ pub struct ShardPlan {
     /// Cycles each array contributes (pod order); zero means the array
     /// sits out this request.
     pub shares: Vec<u64>,
+    /// Target array of each op, in the network's op order — the shares
+    /// above are exactly the per-array sums of op costs under this
+    /// assignment, so an auditor can re-derive them independently.
+    pub assignment: Vec<usize>,
     /// Completion time of the slowest share — the request's service
     /// latency under idealised concurrent execution.
     pub makespan: u64,
@@ -33,6 +38,8 @@ pub struct CostOracle {
     ops: Vec<Vec<Op>>,
     cost_cache: HashMap<(usize, usize, usize), u64>,
     shard_cache: HashMap<(usize, usize), ShardPlan>,
+    hits: u64,
+    misses: u64,
 }
 
 impl CostOracle {
@@ -48,6 +55,8 @@ impl CostOracle {
             ops,
             cost_cache: HashMap::new(),
             shard_cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -59,6 +68,26 @@ impl CostOracle {
     /// Number of networks the oracle knows about.
     pub fn networks(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The latency model of one array, in pod order.
+    pub fn model(&self, array: usize) -> Option<&LatencyModel> {
+        self.models.get(array)
+    }
+
+    /// The flattened ops of one workload network.
+    pub fn network_ops(&self, net: usize) -> Option<&[Op]> {
+        self.ops.get(net).map(Vec::as_slice)
+    }
+
+    /// Memo probes answered from the cache (cost and shard lookups).
+    pub fn memo_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo probes that had to price ops through the latency model.
+    pub fn memo_misses(&self) -> u64 {
+        self.misses
     }
 
     fn op_cycles(model: &LatencyModel, op: &Op) -> Result<u64, ServeError> {
@@ -81,8 +110,10 @@ impl CostOracle {
         batch: usize,
     ) -> Result<u64, ServeError> {
         if let Some(&cycles) = self.cost_cache.get(&(array, net, batch)) {
+            self.hits += 1;
             return Ok(cycles);
         }
+        self.misses += 1;
         let model = self
             .models
             .get(array)
@@ -132,8 +163,10 @@ impl CostOracle {
     pub fn shard_plan(&mut self, net: usize, batch: usize) -> Result<ShardPlan, ServeError> {
         let batch = batch.max(1);
         if let Some(plan) = self.shard_cache.get(&(net, batch)) {
+            self.hits += 1;
             return Ok(plan.clone());
         }
+        self.misses += 1;
         let ops = self
             .ops
             .get(net)
@@ -157,6 +190,7 @@ impl CostOracle {
             (std::cmp::Reverse(best), i)
         });
         let mut shares = vec![0u64; self.models.len()];
+        let mut assignment = vec![0usize; ops.len()];
         for &i in &order {
             let mut best_array = 0usize;
             let mut best_finish = u64::MAX;
@@ -168,11 +202,59 @@ impl CostOracle {
                 }
             }
             shares[best_array] = best_finish;
+            assignment[i] = best_array;
         }
         let makespan = shares.iter().copied().max().unwrap_or(0);
-        let plan = ShardPlan { shares, makespan };
+        let plan = ShardPlan {
+            shares,
+            assignment,
+            makespan,
+        };
         self.shard_cache.insert((net, batch), plan.clone());
         Ok(plan)
+    }
+
+    /// Estimated pod throughput in requests per cycle for a workload
+    /// mix of per-network fractions `mix_frac` (must sum to 1) under
+    /// `dispatch` — the denominator of the offered-load ratio ρ.
+    ///
+    /// Whole dispatch sums each array's independent service rate
+    /// `1 / E[batch-1 cost]`; sharded dispatch serves one request at a
+    /// time pod-wide, so capacity is the reciprocal of the mean LPT
+    /// makespan. [`crate::engine::simulate`] calibrates its arrival
+    /// rate as `load × capacity` from this same estimate, so a
+    /// statically-computed ρ and the simulated offered load agree by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pricing errors from [`Self::request_cycles`] /
+    /// [`Self::shard_plan`].
+    pub fn pod_capacity(
+        &mut self,
+        mix_frac: &[f64],
+        dispatch: Dispatch,
+    ) -> Result<f64, ServeError> {
+        match dispatch {
+            Dispatch::Whole => {
+                let mut total = 0.0;
+                for a in 0..self.models.len() {
+                    let mut mean = 0.0;
+                    for (net, &frac) in mix_frac.iter().enumerate() {
+                        mean += frac * self.request_cycles(a, net, 1)? as f64;
+                    }
+                    total += 1.0 / mean;
+                }
+                Ok(total)
+            }
+            Dispatch::Sharded => {
+                let mut mean = 0.0;
+                for (net, &frac) in mix_frac.iter().enumerate() {
+                    mean += frac * self.shard_plan(net, 1)?.makespan as f64;
+                }
+                Ok(1.0 / mean)
+            }
+        }
     }
 }
 
@@ -226,6 +308,52 @@ mod tests {
         assert!(plan.makespan <= best);
         // And the plan must be deterministic.
         assert_eq!(plan, o.shard_plan(0, 1).expect("plan"));
+    }
+
+    #[test]
+    fn shard_assignment_rederives_shares_and_makespan() {
+        let mut o = oracle();
+        let plan = o.shard_plan(0, 1).expect("plan");
+        let ops: Vec<_> = zoo::mobilenet_v1()
+            .ops()
+            .into_iter()
+            .map(|n| n.op)
+            .collect();
+        assert_eq!(plan.assignment.len(), ops.len());
+        let models = PodSpec::parse("16x16:os,8x8:ws").unwrap().models().unwrap();
+        let mut shares = vec![0u64; models.len()];
+        for (op, &a) in ops.iter().zip(&plan.assignment) {
+            shares[a] += models[a].cycles(op).expect("op cost");
+        }
+        assert_eq!(shares, plan.shares);
+        assert_eq!(plan.makespan, *shares.iter().max().unwrap());
+    }
+
+    #[test]
+    fn memo_counters_track_hits_and_misses() {
+        let mut o = oracle();
+        assert_eq!((o.memo_hits(), o.memo_misses()), (0, 0));
+        let cold = o.request_cycles(0, 0, 1).expect("cost");
+        assert_eq!((o.memo_hits(), o.memo_misses()), (0, 1));
+        let warm = o.request_cycles(0, 0, 1).expect("cost");
+        assert_eq!((o.memo_hits(), o.memo_misses()), (1, 1));
+        assert_eq!(cold, warm, "memoised price must equal the cold price");
+        o.shard_plan(0, 1).expect("plan");
+        o.shard_plan(0, 1).expect("plan");
+        assert_eq!((o.memo_hits(), o.memo_misses()), (2, 2));
+    }
+
+    #[test]
+    fn capacity_matches_the_hand_formula() {
+        let mut o = oracle();
+        let whole = o.pod_capacity(&[1.0], Dispatch::Whole).expect("capacity");
+        let c0 = o.request_cycles(0, 0, 1).unwrap() as f64;
+        let c1 = o.request_cycles(1, 0, 1).unwrap() as f64;
+        assert!((whole - (1.0 / c0 + 1.0 / c1)).abs() < 1e-15);
+        let sharded = o.pod_capacity(&[1.0], Dispatch::Sharded).expect("capacity");
+        let makespan = o.shard_plan(0, 1).unwrap().makespan as f64;
+        assert!((sharded - 1.0 / makespan).abs() < 1e-15);
+        assert!(whole > 0.0 && sharded > 0.0);
     }
 
     #[test]

@@ -122,6 +122,12 @@ impl ArraySpec {
         }
     }
 
+    /// Pipeline-refill penalty a preemption charges the victim on this
+    /// array: `rows + cols` cycles to re-skew the systolic wavefront.
+    pub fn refill_penalty(&self) -> u64 {
+        (self.rows + self.cols) as u64
+    }
+
     /// Builds the array's analytic latency model (row-broadcast
     /// enabled, batch 1).
     ///

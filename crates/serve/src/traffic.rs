@@ -66,6 +66,16 @@ impl Workload {
         &self.weights
     }
 
+    /// Each network's share of the request stream as a fraction in
+    /// `[0, 1]`; the fractions sum to 1.
+    pub fn mix_fractions(&self) -> Vec<f64> {
+        let total: u64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|&w| w as f64 / total as f64)
+            .collect()
+    }
+
     /// Number of networks in the mix.
     pub fn len(&self) -> usize {
         self.networks.len()
