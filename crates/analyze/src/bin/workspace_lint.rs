@@ -27,7 +27,11 @@
 //! 8. the same doc-comment rule for `crates/analyze` library code — the
 //!    analyzer's diagnostic vocabulary and rule entry points are public
 //!    contract surface too (its `src/bin/` tree, this driver included,
-//!    is a binary and exempt like rules 5/6).
+//!    is a binary and exempt like rules 5/6);
+//! 9. the same doc-comment rule for `crates/latency` library code — the
+//!    fold-plan IR (`ir.rs`) made the latency model's types a public
+//!    analysis substrate, so its `pub` surface is documented like the
+//!    serve and analyze crates.
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -374,12 +378,14 @@ fn main() -> ExitCode {
         }
     }
 
-    // Rules 7 + 8: the serving simulator's and the analyzer's public
-    // APIs are fully documented. The analyzer's `src/bin/` tree (this
-    // driver) is a binary and exempt, like rules 5/6.
+    // Rules 7–9: the serving simulator's, the analyzer's and the
+    // latency model's public APIs are fully documented. The analyzer's
+    // `src/bin/` tree (this driver) is a binary and exempt, like rules
+    // 5/6.
     for dir in [
         root.join("crates/serve/src"),
         root.join("crates/analyze/src"),
+        root.join("crates/latency/src"),
     ] {
         let bin_dir = dir.join("bin");
         for path in rs_files(&dir) {
@@ -398,8 +404,8 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         println!(
             "workspace-lint: {} crate roots, the latency/simulator sources, library \
-             stdio and host-clock discipline, serve and analyze API docs, and all \
-             workspace/example/test suppressions are clean",
+             stdio and host-clock discipline, serve/analyze/latency API docs, and \
+             all workspace/example/test suppressions are clean",
             roots.len() + 1
         );
         ExitCode::SUCCESS
@@ -458,6 +464,26 @@ mod tests {
             ),
         );
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undocumented_trait_and_type_items_are_flagged() {
+        // The rule-9 extension to `crates/latency` covers the fold-plan
+        // IR's trait/type-alias-heavy surface: all of these must carry
+        // docs, and a preceding `//` line comment does not count.
+        let findings = pub_doc_findings(
+            "ir_like.rs",
+            concat!(
+                "pub trait NakedTrait {}\n",
+                "pub type NakedAlias = u64;\n",
+                "// a line comment is not a doc comment\n",
+                "pub const NAKED: u32 = 0;\n",
+            ),
+        );
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings[0].contains("ir_like.rs:1"), "{findings:?}");
+        assert!(findings[1].contains("ir_like.rs:2"), "{findings:?}");
+        assert!(findings[2].contains("ir_like.rs:4"), "{findings:?}");
     }
 
     #[test]

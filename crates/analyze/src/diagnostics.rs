@@ -97,6 +97,25 @@ pub enum RuleId {
     /// whole-request dispatch: predicted utilization 0 until every
     /// cheaper array saturates.
     Srv007StaticallyDeadArray,
+    /// A producer/consumer op pair is statically fusible: a dependence
+    /// edge connects their fold plans, the intermediate tile fits on-array
+    /// residency, and keeping it there saves the reported SRAM bytes.
+    Fus001FusiblePair,
+    /// An intermediate tile exceeds the array's accumulator residency
+    /// (rows × cols elements): on-array forwarding is impossible.
+    Fus002ResidencyExceeded,
+    /// The lifted fold-plan dependence graph contains a cycle: no legal
+    /// schedule, fused or not, exists.
+    Fus003DependenceCycle,
+    /// The consumer's dataflow preloads its inputs during fill, so a
+    /// producer cannot forward results to it on-array.
+    Fus004DataflowMismatch,
+    /// An op's output is consumed by no later op in its block: the folds
+    /// computing it are dead work.
+    Fus005DeadValue,
+    /// Per-network fusion headroom: layers ranked by the SRAM round-trip
+    /// traffic fusion would avoid.
+    Fus006FusionHeadroom,
 }
 
 impl RuleId {
@@ -104,7 +123,7 @@ impl RuleId {
     /// length and to the exhaustive match in [`Self::ordinal`], so a
     /// new `RuleId` variant fails to compile until it is registered in
     /// both places — catalogue registration cannot be forgotten.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 34;
 
     /// Every rule the analyzer ships, in catalogue order. Pinned by the
     /// `tests/golden/analyze_schema.json` regression test: extending the
@@ -139,6 +158,12 @@ impl RuleId {
         RuleId::Srv005QueueUndersized,
         RuleId::Srv006PreemptionDeadOrPerverse,
         RuleId::Srv007StaticallyDeadArray,
+        RuleId::Fus001FusiblePair,
+        RuleId::Fus002ResidencyExceeded,
+        RuleId::Fus003DependenceCycle,
+        RuleId::Fus004DataflowMismatch,
+        RuleId::Fus005DeadValue,
+        RuleId::Fus006FusionHeadroom,
     ];
 
     /// The rule's position in [`Self::ALL`]. The match is exhaustive on
@@ -176,6 +201,12 @@ impl RuleId {
             RuleId::Srv005QueueUndersized => 25,
             RuleId::Srv006PreemptionDeadOrPerverse => 26,
             RuleId::Srv007StaticallyDeadArray => 27,
+            RuleId::Fus001FusiblePair => 28,
+            RuleId::Fus002ResidencyExceeded => 29,
+            RuleId::Fus003DependenceCycle => 30,
+            RuleId::Fus004DataflowMismatch => 31,
+            RuleId::Fus005DeadValue => 32,
+            RuleId::Fus006FusionHeadroom => 33,
         }
     }
 
@@ -210,6 +241,12 @@ impl RuleId {
             RuleId::Srv005QueueUndersized => "SRV005",
             RuleId::Srv006PreemptionDeadOrPerverse => "SRV006",
             RuleId::Srv007StaticallyDeadArray => "SRV007",
+            RuleId::Fus001FusiblePair => "FUS001",
+            RuleId::Fus002ResidencyExceeded => "FUS002",
+            RuleId::Fus003DependenceCycle => "FUS003",
+            RuleId::Fus004DataflowMismatch => "FUS004",
+            RuleId::Fus005DeadValue => "FUS005",
+            RuleId::Fus006FusionHeadroom => "FUS006",
         }
     }
 
@@ -295,6 +332,22 @@ impl RuleId {
             }
             RuleId::Srv007StaticallyDeadArray => {
                 "every array should be cheapest for some network under whole dispatch"
+            }
+            RuleId::Fus001FusiblePair => {
+                "producer/consumer pair fusible: intermediate fits on-array residency"
+            }
+            RuleId::Fus002ResidencyExceeded => {
+                "intermediate tile must fit rows x cols on-array elements to fuse"
+            }
+            RuleId::Fus003DependenceCycle => {
+                "the fold dependence graph must be acyclic to schedule at all"
+            }
+            RuleId::Fus004DataflowMismatch => {
+                "fusion needs a consumer dataflow that streams inputs during compute"
+            }
+            RuleId::Fus005DeadValue => "every op output should be consumed by a later op",
+            RuleId::Fus006FusionHeadroom => {
+                "per-network ranking of layers by avoidable SRAM round-trip traffic"
             }
         }
     }
@@ -542,6 +595,12 @@ mod tests {
         assert_eq!(RuleId::Srv005QueueUndersized.code(), "SRV005");
         assert_eq!(RuleId::Srv006PreemptionDeadOrPerverse.code(), "SRV006");
         assert_eq!(RuleId::Srv007StaticallyDeadArray.code(), "SRV007");
+        assert_eq!(RuleId::Fus001FusiblePair.code(), "FUS001");
+        assert_eq!(RuleId::Fus002ResidencyExceeded.code(), "FUS002");
+        assert_eq!(RuleId::Fus003DependenceCycle.code(), "FUS003");
+        assert_eq!(RuleId::Fus004DataflowMismatch.code(), "FUS004");
+        assert_eq!(RuleId::Fus005DeadValue.code(), "FUS005");
+        assert_eq!(RuleId::Fus006FusionHeadroom.code(), "FUS006");
     }
 
     #[test]

@@ -37,6 +37,13 @@
 //!    dead or perverse preemption, and statically-dead arrays — so
 //!    `fuseconv serve` can refuse a million-request simulation of a
 //!    configuration already provably broken.
+//! 10. **Fusion legality** (FUS001–FUS006): liveness, dependence and
+//!     on-array residency proofs over the fold-plan IR
+//!     ([`fuseconv_latency::ir`]) — statically fusible producer/consumer
+//!     pairs (FuSe row/col or depthwise → pointwise) with the exact SRAM
+//!     bytes fusion saves, illegal-fusion findings (residency exceeded,
+//!     dependence cycle, dataflow mismatch), dead-value findings, and a
+//!     per-network fusion-headroom ranking.
 //!
 //! Findings are structured [`Diagnostic`]s (stable rule ID, severity,
 //! offending dependence vector, suggested fix) aggregated into
@@ -54,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod diagnostics;
+pub mod fusion;
 pub mod mapping;
 pub mod memory;
 pub mod ops;
@@ -62,6 +70,7 @@ pub mod serve;
 pub mod shapes;
 
 pub use diagnostics::{Diagnostic, Report, RuleId, Severity};
+pub use fusion::{analyze_fusion, diagnose_pair_ir, fusible_pairs, FusiblePair};
 pub use mapping::{analyze_dataflows, analyze_mapping};
 pub use memory::{analyze_memory, diagnose_memory, MemoryBudget};
 pub use ops::{analyze_network, analyze_network_with_budget, analyze_op, gemm_dataflow_kind};

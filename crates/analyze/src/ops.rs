@@ -326,6 +326,11 @@ pub fn analyze_network_with_budget(
         }
     }
 
+    // Fusion legality over the fold-plan IR.
+    for d in crate::fusion::analyze_fusion(model, net, budget) {
+        report.push(d);
+    }
+
     // Topology shape flow.
     for d in crate::shapes::analyze_shapes(net) {
         report.push(d);

@@ -142,19 +142,14 @@ pub fn analyze_pod(
     // additionally re-derived from its assignment and each op's fold
     // plan is audited on its target array.
     let mut pricing_ok = true;
-    for net in 0..n_nets {
+    for (net, name) in names.iter().enumerate() {
         for array in 0..pod.len() {
             if let Err(e) = oracle.request_cycles(array, net, 1) {
                 pricing_ok = false;
                 report.push(diag(
                     RuleId::Srv004ShardPlanIllegal,
                     Severity::Error,
-                    format!(
-                        "{} / {} on {}",
-                        pod_name,
-                        names[net],
-                        pod.arrays[array].name()
-                    ),
+                    format!("{} / {} on {}", pod_name, name, pod.arrays[array].name()),
                     format!("operator unpriceable on its dispatch target: {e}"),
                     "remove the degenerate network from the mix or fix the array spec",
                 ));
@@ -162,8 +157,8 @@ pub fn analyze_pod(
         }
     }
     if cfg.dispatch == Dispatch::Sharded && pricing_ok {
-        for net in 0..n_nets {
-            audit_shard_plan(&mut oracle, pod, net, &names[net], &mut report)?;
+        for (net, name) in names.iter().enumerate() {
+            audit_shard_plan(&mut oracle, pod, net, name, &mut report)?;
         }
     }
 
@@ -237,17 +232,17 @@ pub fn analyze_pod(
     // service anywhere in the pod; an absolute budget below it cannot
     // be met even by a request that never queues.
     if let Some(budget) = cfg.slo_budget_cycles {
-        for net in 0..n_nets {
+        for (net, name) in names.iter().enumerate() {
             let floor = oracle.best_cycles(net)?;
             if floor > budget {
                 report.push(diag(
                     RuleId::Srv002SloUnattainable,
                     Severity::Error,
-                    format!("{} / {}", pod_name, names[net]),
+                    format!("{} / {}", pod_name, name),
                     format!(
                         "zero-queueing floor {} cycles exceeds the SLO budget {} cycles: \
                          every {} completion misses its SLO",
-                        floor, budget, names[net]
+                        floor, budget, name
                     ),
                     "raise --slo-budget above the floor or add a faster array",
                 ));
@@ -259,8 +254,8 @@ pub fn analyze_pod(
     // dispatch the cheapest-array cost (a lower bound — the dispatcher
     // may do worse), under sharded the LPT makespan.
     let mut s_max = 0u64;
-    for net in 0..n_nets {
-        if weights[net] == 0 {
+    for (net, &weight) in weights.iter().enumerate() {
+        if weight == 0 {
             continue;
         }
         let service = match cfg.dispatch {
@@ -303,8 +298,8 @@ pub fn analyze_pod(
         let mut worst = (0u64, 0u64); // (refill, max cut) of the last array
         for (a, spec) in pod.arrays.iter().enumerate() {
             let mut max_cut = 0u64;
-            for net in 0..n_nets {
-                if weights[net] == 0 {
+            for (net, &weight) in weights.iter().enumerate() {
+                if weight == 0 {
                     continue;
                 }
                 max_cut = max_cut.max(oracle.request_cycles(a, net, max_batch)?);
@@ -338,8 +333,8 @@ pub fn analyze_pod(
     if cfg.dispatch == Dispatch::Whole && pod.len() > 1 {
         for a in 0..pod.len() {
             let mut dominated = true;
-            for net in 0..n_nets {
-                if weights[net] == 0 {
+            for (net, &weight) in weights.iter().enumerate() {
+                if weight == 0 {
                     continue;
                 }
                 let own = oracle.request_cycles(a, net, 1)?;

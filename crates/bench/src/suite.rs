@@ -2,8 +2,9 @@
 //! `BENCH_fuseconv.json` trajectory file.
 //!
 //! Five cycle-exact simulator benches (one per dataflow plus the packed
-//! FuSe path), two analytic benches (fold planning and counter replay)
-//! and two serving-simulator benches (10k-request pod runs) run under
+//! FuSe path), two analytic benches (fold planning and counter replay),
+//! one static-analysis bench (fold-plan-IR fusion legality) and two
+//! serving-simulator benches (10k-request pod runs) run under
 //! the [`crate::micro`] harness; each reports wall time per iteration
 //! *and* the simulated cycle count of its workload, giving a
 //! machine-independent `cycles/sec` throughput figure.
@@ -166,6 +167,23 @@ pub fn run_suite(h: &mut Micro) -> Vec<SuiteBench> {
         ben.iter(|| replay_counted(&plan, 64, 64))
     });
     out.push(record(h, cycles));
+
+    // Fusion-legality analysis over the fold-plan IR: lifts every
+    // FuSe row/col -> pointwise pair of FuSe-Full MobileNet-V2, runs the
+    // liveness/dependence checks and prices the SRAM savings. `cycles` is
+    // the analytic fold-plan total of the analyzed network, so the figure
+    // reads as "modeled cycles statically audited per second".
+    let fused_v2 = zoo::mobilenet_v2().transform_all(fuseconv_nn::FuSeVariant::Full);
+    let budget = fuseconv_analyze::MemoryBudget::paper_default();
+    let fused_cycles: u64 = fused_v2
+        .ops()
+        .iter()
+        .map(|n| model.cycles(&n.op).expect("zoo op plans"))
+        .sum();
+    h.bench_function("analyze/fusion_mobilenet_v2", |ben| {
+        ben.iter(|| fuseconv_analyze::analyze_fusion(&model, &fused_v2, &budget))
+    });
+    out.push(record(h, fused_cycles));
 
     // Serving-simulator benches: 10k requests through the discrete-event
     // pod. Each iteration rebuilds the cost oracle too, so the figure
@@ -450,12 +468,13 @@ mod tests {
         let mut h = Micro::from_env();
         std::env::remove_var("FUSECONV_BENCH_BUDGET_MS");
         let results = run_suite(&mut h);
-        assert_eq!(results.len(), 9);
+        assert_eq!(results.len(), 10);
         assert!(results.iter().all(|b| b.cycles > 0));
         assert!(results.iter().all(|b| b.iters >= 1));
         let names: Vec<&str> = results.iter().map(|b| b.name.as_str()).collect();
         assert!(names.contains(&"sim/gemm_os"));
         assert!(names.contains(&"analytic/counter_replay_depthwise"));
+        assert!(names.contains(&"analyze/fusion_mobilenet_v2"));
         assert!(names.contains(&"serve/fifo_10k_requests"));
     }
 }

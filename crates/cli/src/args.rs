@@ -13,6 +13,7 @@ const SWITCHES: &[&str] = &[
     "metrics-json",
     "preempt",
     "serve",
+    "fusion",
     "force",
 ];
 

@@ -13,7 +13,7 @@
 //! fuseconv trace     [--network MobileNet-V2] [--variant baseline|full|half]
 //!                    [--layer N] [--format scalesim|chrome|heatmap] [--out trace.json]
 //! fuseconv analyze   [--all | --network NAME] [--variant baseline|full|half]
-//!                    [--array 64] [--format text|json] [--out PATH]
+//!                    [--array 64] [--fusion] [--format text|json] [--out PATH]
 //! fuseconv analyze   --serve [serve flags] [--format text|json] [--out PATH]
 //! fuseconv perf      [--network MobileNet-V2] [--variant baseline|full|half]
 //!                    [--array 64] [--bytes-per-elem 2] [--bandwidth 64]
@@ -86,6 +86,10 @@ COMMANDS:
              tensor shape flow (SHP) — all before any simulation
              [--all | --network NAME] [--variant baseline|full|half]
              [--format text|json] [--out PATH]; exits nonzero on error findings
+             --fusion: restrict the audit to the fold-plan-IR fusion family
+             (FUS rules) — statically fusible producer/consumer pairs with
+             exact SRAM savings, illegal-fusion findings and the per-network
+             fusion-headroom ranking
              --serve: serving-feasibility mode (SRV rules) — statically prove
              pod capacity (rho < 1), SLO attainability, bucket coverage,
              shard-plan legality, queue sizing and preemption sanity for a
@@ -540,11 +544,17 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
                     ))
                 }
             };
+            let fusion_only = parsed.flag("fusion").is_some();
             let mut report = analyze::Report::new();
             for net in &nets {
                 for &variant in &variants {
                     let v = apply_variant(net, variant, &array).map_err(|e| e.to_string())?;
-                    for d in analyze::analyze_network(&model, &v).diagnostics {
+                    let diagnostics = if fusion_only {
+                        analyze::analyze_fusion(&model, &v, &analyze::MemoryBudget::paper_default())
+                    } else {
+                        analyze::analyze_network(&model, &v).diagnostics
+                    };
+                    for d in diagnostics {
                         // Mapping-level findings repeat identically across
                         // networks sharing a dataflow; keep one copy each.
                         if !report.diagnostics.contains(&d) {
@@ -1008,6 +1018,50 @@ mod tests {
         assert!(text.contains("\"diagnostics\""), "{text}");
         assert!(text.contains("UTL001"), "{text}");
         std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn analyze_fusion_mode_reports_fus_rules_only() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-analyze-fusion-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("fusion.json");
+        let out = out.to_str().unwrap();
+        // FuSe-Full MobileNet-V2 has fusible row/col -> pointwise pairs.
+        assert!(run(&parsed(&[
+            "analyze",
+            "--network",
+            "mobilenet-v2",
+            "--variant",
+            "full",
+            "--fusion",
+            "--format",
+            "json",
+            "--out",
+            out
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(out).unwrap();
+        assert!(text.contains("\"rule\":\"FUS001\""), "{text}");
+        assert!(text.contains("\"rule\":\"FUS006\""), "{text}");
+        assert!(!text.contains("\"rule\":\"UTL001\""), "{text}");
+        std::fs::remove_file(out).unwrap();
+        // A GEMM-only network has no separable blocks and thus no FUS findings.
+        let out2 = dir.join("fusion_resnet.json");
+        let out2 = out2.to_str().unwrap();
+        assert!(run(&parsed(&[
+            "analyze",
+            "--network",
+            "resnet-50",
+            "--fusion",
+            "--format",
+            "json",
+            "--out",
+            out2
+        ]))
+        .is_ok());
+        let text2 = std::fs::read_to_string(out2).unwrap();
+        assert!(!text2.contains("FUS"), "{text2}");
+        std::fs::remove_file(out2).unwrap();
     }
 
     #[test]

@@ -125,10 +125,9 @@ pub fn network_fold_plan(
         let tag = i as u64;
         plan.labels
             .push((tag, format!("{}/{}", named.block_name, named.op)));
-        for mut fold in model.fold_plan(&named.op)? {
-            fold.tag = tag;
-            plan.folds.push(fold);
-        }
+        let mut folds = model.fold_plan(&named.op)?;
+        fuseconv_trace::tag_plan(&mut folds, tag);
+        plan.folds.extend(folds);
     }
     Ok(plan)
 }

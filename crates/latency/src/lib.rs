@@ -46,12 +46,17 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod ir;
 pub mod map;
 pub mod memory;
 pub mod plan;
 pub mod report;
 
 pub use audit::{audit_plan, fold_footprint, plan_high_water, FoldFootprint, PlanViolation};
+pub use ir::{
+    solve, DataflowProblem, Direction, FoldNode, LiveInterval, Liveness, NodeFacts, PlanIr,
+    ReachingDefs, ValueClass, ValueDef, ValueId, ValueInfo, ValueSet,
+};
 pub use map::{Dataflow, FoldOverlap, LatencyError, LatencyModel};
 pub use report::{
     block_speedups, estimate_network, BlockLatency, ClassBreakdown, NetworkLatency, OpLatency,

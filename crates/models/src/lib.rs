@@ -36,4 +36,4 @@ pub mod zoo;
 
 pub use block::{Block, SeparableBlock, SpatialFilter};
 pub use network::{Network, NetworkSummary};
-pub use shape::{Shape, ShapeFlow};
+pub use shape::{op_consumes, Shape, ShapeFlow};

@@ -8,6 +8,7 @@
 //! preserves every replaced block's output shape.
 
 use crate::block::{Block, SeparableBlock};
+use fuseconv_nn::ops::Op;
 
 /// A feature-map shape: height × width × channels.
 ///
@@ -99,6 +100,27 @@ impl ShapeFlow for Block {
     }
 }
 
+/// Whether `consumer` can read the tensor `producer` writes, under the
+/// slice-or-concat channel rule the zoo's block expansions use.
+///
+/// Within a block, an op's output is consumed either whole (`in_c` of
+/// the consumer at least the producer's `out_c` — the project pointwise
+/// reading the concatenation of both FuSe banks), or as an even channel
+/// slice (`out_c` a multiple of the consumer's channel count — each FuSe
+/// bank reading `exp_c / d` channels of the expansion). Fully-connected
+/// consumers follow a global pool, which flattens any shape. Fusion
+/// analysis uses this to prove an op's output is dead: no later op in
+/// its block satisfies either reading pattern.
+pub fn op_consumes(producer: &Op, consumer: &Op) -> bool {
+    let (_, _, out_c) = producer.output_shape();
+    let reads = |in_c: usize| in_c >= out_c || (in_c != 0 && out_c % in_c == 0);
+    match *consumer {
+        Op::Fc { .. } => true,
+        Op::Conv2d { in_c, .. } | Op::Pointwise { in_c, .. } => reads(in_c),
+        Op::Depthwise { c, .. } | Op::FuSe1d { c, .. } => reads(c),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +183,32 @@ mod tests {
     #[test]
     fn display_reads_h_w_c() {
         assert_eq!(Shape::new(7, 7, 960).to_string(), "7x7x960");
+    }
+
+    #[test]
+    fn op_consumes_covers_every_block_expansion() {
+        // Every adjacent (and concat-skipping) producer/consumer pair the
+        // zoo's blocks generate satisfies the slice-or-concat rule.
+        for block in [
+            Block::Separable(sep()),
+            Block::Separable(sep().fused(FuSeVariant::Full)),
+            Block::Separable(sep().fused(FuSeVariant::Half)),
+        ] {
+            let ops = block.ops();
+            for (i, producer) in ops.iter().enumerate() {
+                if i + 1 == ops.len() {
+                    continue;
+                }
+                assert!(
+                    ops[i + 1..].iter().any(|c| op_consumes(producer, c)),
+                    "{block}: output of `{producer}` is unread"
+                );
+            }
+        }
+        // A consumer that neither covers nor evenly slices the producer's
+        // channels does not read it.
+        let producer = fuseconv_nn::ops::Op::depthwise(8, 8, 7, 3, 1, 1);
+        let consumer = fuseconv_nn::ops::Op::pointwise(8, 8, 3, 16);
+        assert!(!op_consumes(&producer, &consumer));
     }
 }

@@ -41,7 +41,7 @@ mod utilization;
 
 pub use chrome::ChromeTraceSink;
 pub use event::{FoldKind, NullSink, Operand, Phase, TraceEvent, TraceSink, VecSink};
-pub use replay::{replay, FoldSpec};
+pub use replay::{replay, tag_plan, FoldSpec};
 pub use scalesim::{ScaleSimSink, FILTER_BASE, IFMAP_BASE, OFMAP_BASE};
 pub use util::pe_utilization;
 pub use utilization::{FoldStats, UtilizationSink};

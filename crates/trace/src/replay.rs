@@ -44,6 +44,19 @@ impl FoldSpec {
     }
 }
 
+/// Stamps every fold of `plan` with one provenance `tag` in place.
+///
+/// `LatencyModel::fold_plan` emits every fold with `tag = 0`; callers that
+/// assemble multi-op plans (network trace capture, the fold-plan IR, perf
+/// replay drivers) re-tag each op's folds with its op index before
+/// concatenating, so `FoldStart` events stay attributable. This is the one
+/// shared implementation of that re-tagging.
+pub fn tag_plan(plan: &mut [FoldSpec], tag: u64) {
+    for fold in plan {
+        fold.tag = tag;
+    }
+}
+
 /// Emits the event stream implied by `specs` into `sink`, folds back to
 /// back starting at cycle 0. Returns the total cycle count (the sum of all
 /// fold cycles — by construction identical to the analytic latency model's
@@ -148,6 +161,15 @@ mod tests {
         let busy = sink.per_cycle_busy();
         assert_eq!(busy.iter().filter(|&&b| b == 4).count(), 2);
         assert_eq!(busy.iter().filter(|&&b| b == 3).count(), 5);
+    }
+
+    #[test]
+    fn tag_plan_stamps_every_fold() {
+        let mut plan = [spec(0, 2, 10, 3, 37), spec(1, 0, 5, 1, 12)];
+        tag_plan(&mut plan, 7);
+        assert!(plan.iter().all(|f| f.tag == 7));
+        tag_plan(&mut plan[..1], 3);
+        assert_eq!((plan[0].tag, plan[1].tag), (3, 7));
     }
 
     #[test]
