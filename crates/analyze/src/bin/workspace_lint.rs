@@ -31,7 +31,11 @@
 //! 9. the same doc-comment rule for `crates/latency` library code — the
 //!    fold-plan IR (`ir.rs`) made the latency model's types a public
 //!    analysis substrate, so its `pub` surface is documented like the
-//!    serve and analyze crates.
+//!    serve and analyze crates;
+//! 10. the same doc-comment rule for `crates/telemetry` library code —
+//!     the quantile sketch made the telemetry crate part of the serving
+//!     observability contract (sketch error bound, manifest schema), so
+//!     its `pub` surface is documented like the other three.
 //!
 //! Exits nonzero when any convention is violated, printing one line per
 //! finding.
@@ -378,14 +382,15 @@ fn main() -> ExitCode {
         }
     }
 
-    // Rules 7–9: the serving simulator's, the analyzer's and the
-    // latency model's public APIs are fully documented. The analyzer's
-    // `src/bin/` tree (this driver) is a binary and exempt, like rules
-    // 5/6.
+    // Rules 7–10: the serving simulator's, the analyzer's, the latency
+    // model's and the telemetry crate's public APIs are fully
+    // documented. The analyzer's `src/bin/` tree (this driver) is a
+    // binary and exempt, like rules 5/6.
     for dir in [
         root.join("crates/serve/src"),
         root.join("crates/analyze/src"),
         root.join("crates/latency/src"),
+        root.join("crates/telemetry/src"),
     ] {
         let bin_dir = dir.join("bin");
         for path in rs_files(&dir) {
@@ -404,8 +409,8 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         println!(
             "workspace-lint: {} crate roots, the latency/simulator sources, library \
-             stdio and host-clock discipline, serve/analyze/latency API docs, and \
-             all workspace/example/test suppressions are clean",
+             stdio and host-clock discipline, serve/analyze/latency/telemetry API \
+             docs, and all workspace/example/test suppressions are clean",
             roots.len() + 1
         );
         ExitCode::SUCCESS
@@ -484,6 +489,45 @@ mod tests {
         assert!(findings[0].contains("ir_like.rs:1"), "{findings:?}");
         assert!(findings[1].contains("ir_like.rs:2"), "{findings:?}");
         assert!(findings[2].contains("ir_like.rs:4"), "{findings:?}");
+    }
+
+    #[test]
+    fn telemetry_sources_pass_the_rule_10_pub_docs_check() {
+        // Rule 10 extends the pub-docs rule to `crates/telemetry`; the
+        // crate's real sources must already satisfy it (negative
+        // coverage lives in `undocumented_pub_items_are_flagged`).
+        let root = workspace_root();
+        let dir = root.join("crates/telemetry/src");
+        let mut findings = Vec::new();
+        for path in rs_files(&dir) {
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            check_pub_docs(&root, &rel, &mut findings);
+        }
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undocumented_sketch_like_items_are_flagged() {
+        // A rule-10 regression guard: associated consts and methods of
+        // a sketch-like surface need docs like everything else.
+        let findings = pub_doc_findings(
+            "sketch_like.rs",
+            concat!(
+                "/// Documented type.\n",
+                "pub struct Sketch;\n",
+                "impl Sketch {\n",
+                "    pub const BOUND: f64 = 0.015625;\n",
+                "    pub fn quantile(&self) -> u64 { 0 }\n",
+                "}\n",
+            ),
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("sketch_like.rs:4"), "{findings:?}");
+        assert!(findings[1].contains("sketch_like.rs:5"), "{findings:?}");
     }
 
     #[test]

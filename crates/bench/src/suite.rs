@@ -3,8 +3,9 @@
 //!
 //! Five cycle-exact simulator benches (one per dataflow plus the packed
 //! FuSe path), two analytic benches (fold planning and counter replay),
-//! one static-analysis bench (fold-plan-IR fusion legality) and two
-//! serving-simulator benches (10k-request pod runs) run under
+//! one static-analysis bench (fold-plan-IR fusion legality) and three
+//! serving-simulator benches (10k-request pod runs, one with the
+//! time-series recorder attached) run under
 //! the [`crate::micro`] harness; each reports wall time per iteration
 //! *and* the simulated cycle count of its workload, giving a
 //! machine-independent `cycles/sec` throughput figure.
@@ -221,6 +222,22 @@ pub fn run_suite(h: &mut Micro) -> Vec<SuiteBench> {
     h.bench_function("serve/bucketed_sharded_10k_requests", |ben| {
         ben.iter(|| {
             serve::simulate(&pod, &workload, &bucketed_cfg, None).expect("pod simulation runs")
+        })
+    });
+    out.push(record(h, cycles));
+
+    // The FIFO run again with the time-series recorder attached: the
+    // figure prices the observability layer itself, and the overhead
+    // test pins it within 10% of the plain `serve/fifo_10k_requests`.
+    let ts_cfg = serve::TimeSeriesConfig::new();
+    let cycles = serve::simulate_observed(&pod, &workload, &fifo_cfg, None, Some(&ts_cfg))
+        .expect("pod simulation runs")
+        .0
+        .makespan_cycles;
+    h.bench_function("serve/timeseries_10k_requests", |ben| {
+        ben.iter(|| {
+            serve::simulate_observed(&pod, &workload, &fifo_cfg, None, Some(&ts_cfg))
+                .expect("pod simulation runs")
         })
     });
     out.push(record(h, cycles));
@@ -468,7 +485,7 @@ mod tests {
         let mut h = Micro::from_env();
         std::env::remove_var("FUSECONV_BENCH_BUDGET_MS");
         let results = run_suite(&mut h);
-        assert_eq!(results.len(), 10);
+        assert_eq!(results.len(), 11);
         assert!(results.iter().all(|b| b.cycles > 0));
         assert!(results.iter().all(|b| b.iters >= 1));
         let names: Vec<&str> = results.iter().map(|b| b.name.as_str()).collect();
@@ -476,5 +493,6 @@ mod tests {
         assert!(names.contains(&"analytic/counter_replay_depthwise"));
         assert!(names.contains(&"analyze/fusion_mobilenet_v2"));
         assert!(names.contains(&"serve/fifo_10k_requests"));
+        assert!(names.contains(&"serve/timeseries_10k_requests"));
     }
 }

@@ -15,6 +15,7 @@ const SWITCHES: &[&str] = &[
     "serve",
     "fusion",
     "force",
+    "timeseries",
 ];
 
 /// A parsed command line: the subcommand and its `--flag value` pairs.

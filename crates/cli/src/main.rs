@@ -30,6 +30,7 @@
 //!                    [--queue-cap N] [--slo-mult F] [--slo-budget N] [--buckets N]
 //!                    [--seed N] [--force]
 //!                    [--format text|json] [--out PATH] [--chrome-trace[=PATH]]
+//!                    [--timeseries[=PATH]]
 //! fuseconv help
 //! ```
 //!
@@ -132,6 +133,12 @@ COMMANDS:
                         (fuseconv analyze --serve) proves the config infeasible
              [--format text|json] [--out PATH]
              [--chrome-trace[=PATH]]  per-array lanes (default serve_trace.json)
+             [--timeseries[=PATH]]  windowed time-series observability
+                            (fuseconv-serve-timeseries-v1: offered/goodput/
+                            drops, queue depth, per-array utilization, latency
+                            sketch, SLO burn-rate alerts, tail exemplars;
+                            default serve_timeseries.json); with --chrome-trace
+                            also adds goodput/utilization counter tracks
   help       this text
 
 Common flags: --array N (square array side, default 64);
@@ -832,8 +839,12 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
             let mut sink = parsed
                 .flag("chrome-trace")
                 .map(|_| serve::PodTraceSink::new(&pod));
-            let report =
-                serve::simulate(&pod, &workload, &cfg, sink.as_mut()).map_err(|e| e.to_string())?;
+            let ts_cfg = parsed
+                .flag("timeseries")
+                .map(|_| serve::TimeSeriesConfig::new());
+            let (report, ts) =
+                serve::simulate_observed(&pod, &workload, &cfg, sink.as_mut(), ts_cfg.as_ref())
+                    .map_err(|e| e.to_string())?;
             let rendered = match parsed.flag("format").unwrap_or("text") {
                 "text" => report.to_text(),
                 "json" => report.to_json(),
@@ -846,6 +857,25 @@ fn run(parsed: &ParsedArgs) -> Result<(), String> {
                     println!("{path}");
                 }
                 None => println!("{}", rendered.trim_end()),
+            }
+            if let Some(ts) = &ts {
+                if let Some(sink) = sink.as_mut() {
+                    // Counter tracks render beside the pid-0 batch
+                    // lanes in the same Perfetto view.
+                    ts.append_counters(sink);
+                }
+                if parsed.flag("format").unwrap_or("text") == "text" {
+                    println!("{}", ts.to_text().trim_end());
+                }
+                let value = parsed.flag("timeseries").unwrap_or("true");
+                let path = if value == "true" {
+                    "serve_timeseries.json"
+                } else {
+                    value
+                };
+                std::fs::write(path, ts.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("{path}");
             }
             if let Some(sink) = sink {
                 let value = parsed.flag("chrome-trace").unwrap_or("true");
@@ -1342,6 +1372,47 @@ mod tests {
         assert!(tr.contains("\"traceEvents\""), "{tr}");
         assert!(tr.contains("array 0: 16x16:os"), "{tr}");
         std::fs::remove_file(out).unwrap();
+        std::fs::remove_file(trace).unwrap();
+    }
+
+    #[test]
+    fn serve_writes_timeseries_artifact_with_counter_tracks() {
+        let dir = std::env::temp_dir().join("fuseconv-cli-serve-ts-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ts = dir.join("serve_timeseries.json");
+        let ts = ts.to_str().unwrap();
+        let ts_flag = format!("--timeseries={ts}");
+        let trace = dir.join("serve_trace.json");
+        let trace = trace.to_str().unwrap();
+        let trace_flag = format!("--chrome-trace={trace}");
+        assert!(run(&parsed(&[
+            "serve",
+            "--pod",
+            "16x16:os,8x8:os",
+            "--networks",
+            "mobilenet-v1",
+            "--requests",
+            "400",
+            "--seed",
+            "7",
+            &ts_flag,
+            &trace_flag
+        ]))
+        .is_ok());
+        let body = std::fs::read_to_string(ts).unwrap();
+        assert!(
+            body.contains("\"schema\": \"fuseconv-serve-timeseries-v1\""),
+            "{body}"
+        );
+        assert!(body.contains("\"results_fnv1a64\": \"fnv1a64:"), "{body}");
+        assert!(
+            body.contains("\"schema\": \"fuseconv-manifest-v1\""),
+            "{body}"
+        );
+        let tr = std::fs::read_to_string(trace).unwrap();
+        assert!(tr.contains("\"name\":\"goodput\""), "{tr}");
+        assert!(tr.contains("\"name\":\"util 16x16:os\""), "{tr}");
+        std::fs::remove_file(ts).unwrap();
         std::fs::remove_file(trace).unwrap();
     }
 

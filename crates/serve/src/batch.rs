@@ -85,6 +85,40 @@ pub struct Pending {
     pub high_priority: bool,
 }
 
+/// Cycle-exact phase accounting carried with a batch through launches,
+/// preemptions and resumes. The engine maintains the invariant that for
+/// every member request `latency == form_wait + queue_wait + on_array`
+/// (with `form_wait = formed_at − arrived`), because each accumulator
+/// is the telescoped difference of adjacent event times: the intervals
+/// tile `[formed_at, completion]` exactly. `on_array` further splits
+/// into compute and preemption-refill cycles via `refill`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPhase {
+    /// When the batch became formable: its latest member arrival.
+    /// Earlier members' wait until this point is their batch-form wait.
+    pub formed_at: u64,
+    /// Cycles the formed batch spent waiting off-array: formed→launch
+    /// plus, after a preemption, eviction→relaunch.
+    pub queue_wait: u64,
+    /// Cycles spent executing on an array across all segments,
+    /// including replayed pipeline-refill cycles.
+    pub on_array: u64,
+    /// Preemption refill-penalty cycles charged into `on_array`.
+    pub refill: u64,
+}
+
+impl BatchPhase {
+    /// A fresh accounting for a batch formed at `formed_at`.
+    pub fn formed(formed_at: u64) -> Self {
+        BatchPhase {
+            formed_at,
+            queue_wait: 0,
+            on_array: 0,
+            refill: 0,
+        }
+    }
+}
+
 /// A launched batch: same-network requests served by one array (or one
 /// shard plan) in a single pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +129,8 @@ pub struct Batch {
     pub requests: Vec<Pending>,
     /// Whether the batch came off the high-priority lane.
     pub high_priority: bool,
+    /// Phase accounting (batch-form / queue / on-array cycles).
+    pub phase: BatchPhase,
 }
 
 /// Bounded request queue with per-network buckets and a priority lane.
@@ -177,10 +213,14 @@ impl RequestQueue {
                 requests.push(p);
             }
         }
+        // Buckets are FIFO, so the last member arrived latest: the
+        // batch could not have existed before that arrival.
+        let formed_at = requests.last().map_or(0, |p| p.arrived);
         Batch {
             net: bucket,
             requests,
             high_priority: false,
+            phase: BatchPhase::formed(formed_at),
         }
     }
 
@@ -195,6 +235,7 @@ impl RequestQueue {
             net: p.net,
             requests: vec![p],
             high_priority: true,
+            phase: BatchPhase::formed(p.arrived),
         })
     }
 

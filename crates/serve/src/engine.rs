@@ -32,6 +32,7 @@ use crate::batch::{Batch, BatchPolicy, Pending, RequestQueue};
 use crate::oracle::CostOracle;
 use crate::report::{ArrayReport, LatencyStats, NetworkReport, QueueStats, ServeReport};
 use crate::spec::{PodSpec, ServeError};
+use crate::timeseries::{Exemplar, TimeSeriesConfig, TimeSeriesRecorder, TimeSeriesReport};
 use crate::trace::PodTraceSink;
 use crate::traffic::{TrafficGen, Workload};
 use fuseconv_telemetry::RunManifest;
@@ -167,6 +168,9 @@ struct ArrayState {
 struct ResumeJob {
     batch: Batch,
     remaining: u64,
+    /// When the batch was evicted; the gap until relaunch is queue
+    /// wait in the batch's phase accounting.
+    evicted_at: u64,
 }
 
 struct Engine<'a> {
@@ -201,6 +205,7 @@ struct Engine<'a> {
     max_depth: u64,
     deadline_scheduled: Option<u64>,
     trace: Option<&'a mut PodTraceSink>,
+    ts: Option<TimeSeriesRecorder>,
 }
 
 impl<'a> Engine<'a> {
@@ -210,10 +215,16 @@ impl<'a> Engine<'a> {
     }
 
     /// Advances the queue-depth integral to `now` (call before any
-    /// queue mutation).
+    /// queue mutation). The flushed interval feeds the time-series
+    /// recorder too, so its per-window depth intervals exactly tile
+    /// `[0, makespan]`.
     fn tick_depth(&mut self, now: u64) {
         let dt = now.saturating_sub(self.depth_last_t);
-        self.depth_area += self.queue.len() as u128 * dt as u128;
+        let depth = self.queue.len() as u64;
+        self.depth_area += depth as u128 * dt as u128;
+        if let Some(ts) = self.ts.as_mut() {
+            ts.queue_depth_to(now, depth);
+        }
         self.depth_last_t = now;
     }
 
@@ -231,7 +242,12 @@ impl<'a> Engine<'a> {
         format!("{} x{}{}", name, batch.requests.len(), prio)
     }
 
-    fn launch(&mut self, array: usize, batch: Batch, service: u64, now: u64, resumed: bool) {
+    fn launch(&mut self, array: usize, mut batch: Batch, service: u64, now: u64, resumed: bool) {
+        if !resumed {
+            // Formation → launch is queue wait; a resumed batch's
+            // evict → relaunch wait was credited at resume-pop time.
+            batch.phase.queue_wait += now.saturating_sub(batch.phase.formed_at);
+        }
         let done = now.saturating_add(service.max(1));
         let state = &mut self.arrays[array];
         state.busy = true;
@@ -249,29 +265,70 @@ impl<'a> Engine<'a> {
     }
 
     fn complete(&mut self, array: usize, now: u64) {
-        let Some(run) = self.arrays[array].running.take() else {
+        let Some(mut run) = self.arrays[array].running.take() else {
             return;
         };
         self.arrays[array].busy = false;
         self.arrays[array].busy_cycles += now.saturating_sub(run.started);
         self.arrays[array].requests += run.batch.requests.len() as u64;
+        run.batch.phase.on_array += now.saturating_sub(run.started);
         let label = self.batch_label(&run.batch);
         if let Some(trace) = self.trace.as_deref_mut() {
             trace.batch_span(array, run.started, now, &label);
+        }
+        if let Some(ts) = self.ts.as_mut() {
+            ts.busy(array, run.started, now);
         }
         self.record_completions(&run.batch, now);
     }
 
     fn record_completions(&mut self, batch: &Batch, now: u64) {
+        let ph = batch.phase;
+        // Re-preemption during a refill replay can book more refill
+        // than on-array time; clamp so compute never underflows.
+        let refill = ph.refill.min(ph.on_array);
+        let compute = ph.on_array - refill;
+        if let Some(ts) = self.ts.as_mut() {
+            // Every request in the batch completes at `now`; roll the
+            // completion window once for all of them.
+            ts.completions_at(now);
+        }
         for p in &batch.requests {
             let latency = now.saturating_sub(p.arrived);
+            let form_wait = ph.formed_at.saturating_sub(p.arrived);
+            debug_assert_eq!(
+                form_wait + ph.queue_wait + compute + refill,
+                latency,
+                "phase cycles must sum to end-to-end latency (request {})",
+                p.id
+            );
             self.latencies.push(latency);
             if p.high_priority {
                 self.high_latencies.push(latency);
             }
             self.net_completed[p.net] += 1;
-            if latency <= self.slo_target[p.net] {
+            let met = latency <= self.slo_target[p.net];
+            if met {
                 self.net_slo_met[p.net] += 1;
+            }
+            if let Some(ts) = self.ts.as_mut() {
+                ts.record(latency, p.net, met);
+                // The full phase-accounted record is assembled only
+                // for the rare tail candidate.
+                if ts.wants_exemplar(latency, p.id) {
+                    ts.offer_exemplar(Exemplar {
+                        id: p.id,
+                        net: p.net,
+                        high_priority: p.high_priority,
+                        arrived: p.arrived,
+                        completed_at: now,
+                        latency,
+                        form_wait,
+                        queue_wait: ph.queue_wait,
+                        compute,
+                        refill,
+                    });
+                }
             }
         }
     }
@@ -325,11 +382,15 @@ impl<'a> Engine<'a> {
         let state = &mut self.arrays[victim];
         state.gen += 1; // invalidate the in-flight ArrayDone
         state.busy = false;
-        let Some(run) = state.running.take() else {
+        let Some(mut run) = state.running.take() else {
             return Ok(());
         };
         state.busy_cycles += now.saturating_sub(run.started);
+        run.batch.phase.on_array += now.saturating_sub(run.started);
         let refill = self.pod.arrays[victim].refill_penalty();
+        // The refill cycles will replay on-array at resume time; book
+        // them now so the phase split survives the round trip.
+        run.batch.phase.refill += refill;
         let remaining = run.done.saturating_sub(now).saturating_add(refill);
         self.preemptions += 1;
         let label = self.batch_label(&run.batch);
@@ -337,9 +398,13 @@ impl<'a> Engine<'a> {
             trace.batch_span(victim, run.started, now, &format!("{label} (preempted)"));
             trace.preemption(victim, now, &label);
         }
+        if let Some(ts) = self.ts.as_mut() {
+            ts.busy(victim, run.started, now);
+        }
         self.resume.push_back(ResumeJob {
             batch: run.batch,
             remaining,
+            evicted_at: now,
         });
         Ok(())
     }
@@ -383,10 +448,11 @@ impl<'a> Engine<'a> {
                 self.launch_cheapest(&idle, batch, now)?;
                 continue;
             }
-            if let Some(job) = self.resume.pop_front() {
+            if let Some(mut job) = self.resume.pop_front() {
                 // Remaining cycles were measured on the victim array;
                 // re-running them anywhere at face value idealises the
                 // resume (fold-granularity approximation).
+                job.batch.phase.queue_wait += now.saturating_sub(job.evicted_at);
                 self.launch(idle[0], job.batch, job.remaining, now, true);
                 continue;
             }
@@ -406,7 +472,8 @@ impl<'a> Engine<'a> {
             self.tick_depth(now);
             let popped = self.queue.pop_batch(now);
             self.note_depth(now);
-            if let Some(batch) = popped {
+            if let Some(mut batch) = popped {
+                batch.phase.queue_wait += now.saturating_sub(batch.phase.formed_at);
                 let plan = self.oracle.shard_plan(batch.net, batch.requests.len())?;
                 let label = self.batch_label(&batch);
                 // The critical array (largest share) carries the
@@ -431,6 +498,9 @@ impl<'a> Engine<'a> {
                     state.batches += 1;
                     if let Some(trace) = self.trace.as_deref_mut() {
                         trace.batch_span(a, now, now + share, &label);
+                    }
+                    if let Some(ts) = self.ts.as_mut() {
+                        ts.busy(a, now, now + share);
                     }
                 }
                 self.batches += 1;
@@ -490,7 +560,35 @@ pub fn simulate(
     cfg: &ServeConfig,
     trace: Option<&mut PodTraceSink>,
 ) -> Result<ServeReport, ServeError> {
+    simulate_observed(pod, workload, cfg, trace, None).map(|(report, _)| report)
+}
+
+/// Runs one pod simulation like [`simulate`], optionally recording a
+/// windowed [`TimeSeriesReport`] alongside the aggregate report.
+///
+/// With `timeseries` set, the engine additionally streams arrivals,
+/// completions, queue-depth intervals and per-array busy segments into
+/// a [`TimeSeriesRecorder`]; the returned report carries per-window
+/// counters, burn-rate alerts and tail exemplars whose phase cycles
+/// sum exactly to each request's end-to-end latency. Recording is
+/// deterministic: the time-series `results_fnv1a64` is a pure function
+/// of `(pod, workload, cfg, timeseries)`.
+///
+/// # Errors
+///
+/// Everything [`simulate`] rejects, plus [`ServeError::Config`] for an
+/// invalid [`TimeSeriesConfig`].
+pub fn simulate_observed(
+    pod: &PodSpec,
+    workload: &Workload,
+    cfg: &ServeConfig,
+    trace: Option<&mut PodTraceSink>,
+    timeseries: Option<&TimeSeriesConfig>,
+) -> Result<(ServeReport, Option<TimeSeriesReport>), ServeError> {
     let _span = fuseconv_telemetry::span("serve.simulate");
+    if let Some(ts_cfg) = timeseries {
+        ts_cfg.validate()?;
+    }
     if cfg.requests == 0 {
         return Err(ServeError::Config(
             "requests must be at least 1".to_string(),
@@ -533,6 +631,13 @@ pub fn simulate(
     let capacity = oracle.pod_capacity(&workload.mix_fractions(), cfg.dispatch)?;
     let mean_gap = 1.0 / (cfg.load * capacity);
 
+    // Automatic window sizing targets the *expected* makespan (the
+    // arrival span at the offered rate); an overloaded run simply
+    // grows extra windows past the target count.
+    let expected_makespan = (cfg.requests as f64 * mean_gap).ceil().max(1.0) as u64;
+    let recorder =
+        timeseries.map(|c| TimeSeriesRecorder::new(c, expected_makespan, pod.len(), n_nets));
+
     let covered = cfg.shape_buckets.map_or(n_nets, |k| k.min(n_nets));
 
     let mut engine = Engine {
@@ -570,6 +675,7 @@ pub fn simulate(
         max_depth: 0,
         deadline_scheduled: None,
         trace,
+        ts: recorder,
     };
 
     let first = engine.traffic.next_after(0);
@@ -600,6 +706,12 @@ pub fn simulate(
                 if !admitted {
                     engine.dropped += 1;
                 }
+                if let Some(ts) = engine.ts.as_mut() {
+                    ts.offered(now);
+                    if !admitted {
+                        ts.dropped(now);
+                    }
+                }
                 engine.note_depth(now);
                 if engine.emitted < cfg.requests {
                     let next = engine.traffic.next_after(now);
@@ -627,7 +739,8 @@ pub fn simulate(
                 engine.dispatch(now)?;
             }
             EvKind::PodDone => {
-                if let Some((batch, _started, done)) = engine.pod_running.take() {
+                if let Some((mut batch, started, done)) = engine.pod_running.take() {
+                    batch.phase.on_array += done.saturating_sub(started);
                     engine.record_completions(&batch, done);
                 }
                 engine.dispatch(now)?;
@@ -641,6 +754,24 @@ pub fn simulate(
         }
     }
     engine.tick_depth(engine.makespan);
+
+    let ts_report = engine.ts.take().map(|rec| {
+        rec.finish(
+            engine.makespan.max(1),
+            pod.arrays.iter().map(|a| a.name()).collect(),
+            engine.net_names.clone(),
+            RunManifest::capture()
+                .with_config(&format!(
+                    "serve-timeseries pod={} policy={} dispatch={} load={} requests={}",
+                    pod,
+                    cfg.policy.name(),
+                    cfg.dispatch.name(),
+                    cfg.load,
+                    cfg.requests
+                ))
+                .with_seed(cfg.seed),
+        )
+    });
 
     // Metrics: wired in bulk so the hot loop stays allocation-free.
     fuseconv_telemetry::counter("serve.requests_total").add(engine.offered);
@@ -683,7 +814,7 @@ pub fn simulate(
             slo_met: engine.net_slo_met[net],
         })
         .collect();
-    Ok(ServeReport {
+    let report = ServeReport {
         pod: pod.to_string(),
         policy: cfg.policy.name().to_string(),
         dispatch: cfg.dispatch.name().to_string(),
@@ -721,7 +852,8 @@ pub fn simulate(
                 cfg.requests
             ))
             .with_seed(cfg.seed),
-    })
+    };
+    Ok((report, ts_report))
 }
 
 #[cfg(test)]
@@ -1040,6 +1172,122 @@ mod tests {
                 },
                 None
             ),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn observed_windows_sum_to_the_aggregate_report() {
+        let pod = PodSpec::parse("16x16:os,8x8:ws").expect("pod");
+        let cfg = ServeConfig {
+            preemption: true,
+            high_priority_frac: 0.1,
+            load: 1.2,
+            policy: BatchPolicy::Dynamic {
+                max_batch: 4,
+                max_wait: 5_000,
+            },
+            ..base_cfg(2000)
+        };
+        let (report, ts) = simulate_observed(
+            &pod,
+            &tiny_workload(),
+            &cfg,
+            None,
+            Some(&TimeSeriesConfig::new()),
+        )
+        .expect("sim");
+        let ts = ts.expect("timeseries requested");
+        let sum = |f: fn(&crate::timeseries::WindowReport) -> u64| -> u64 {
+            ts.windows.iter().map(f).sum()
+        };
+        assert_eq!(sum(|w| w.offered), report.offered);
+        assert_eq!(sum(|w| w.completed), report.completed);
+        assert_eq!(sum(|w| w.dropped), report.dropped);
+        assert_eq!(sum(|w| w.slo_met), report.slo_met);
+        assert_eq!(ts.total.count, report.completed);
+        assert_eq!(ts.total.max, report.latency.max);
+        // Busy fractions stay physical even under preemption.
+        for w in &ts.windows {
+            for &f in &w.busy_frac {
+                assert!((0.0..=1.0).contains(&f), "busy fraction {f} out of range");
+            }
+        }
+        // The debug phase-invariant assertion ran for every completion
+        // (this test compiles with debug assertions in `cargo test`);
+        // exemplars expose the same breakdown for the worst requests.
+        for e in &ts.exemplars {
+            assert_eq!(
+                e.form_wait + e.queue_wait + e.compute + e.refill,
+                e.latency,
+                "exemplar {} phases must sum to latency",
+                e.id
+            );
+        }
+    }
+
+    #[test]
+    fn observed_run_is_deterministic_and_free_of_drift() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let cfg = ServeConfig {
+            load: 2.0,
+            queue_capacity: 128,
+            ..base_cfg(1200)
+        };
+        let ts_cfg = TimeSeriesConfig::new();
+        let run = |seed: u64| {
+            let cfg = ServeConfig {
+                seed,
+                ..cfg.clone()
+            };
+            simulate_observed(&pod, &workload, &cfg, None, Some(&ts_cfg)).expect("sim")
+        };
+        let (ra, ta) = run(42);
+        let (rb, tb) = run(42);
+        let (ta, tb) = (ta.expect("ts"), tb.expect("ts"));
+        assert_eq!(ta.results_hash(), tb.results_hash());
+        assert_eq!(ra.results_hash(), rb.results_hash());
+        assert_ne!(ta.results_hash(), run(7).1.expect("ts").results_hash());
+        // Overload against a bounded queue must raise burn alerts.
+        assert!(
+            !ta.alerts.is_empty(),
+            "2x overload should burn the SLO error budget"
+        );
+    }
+
+    #[test]
+    fn observed_sharded_dispatch_keeps_phase_accounting() {
+        let pod = PodSpec::parse("16x16:os,16x16:os").expect("pod");
+        let workload = Workload::uniform(vec![zoo::mobilenet_v1()]).expect("mix");
+        let cfg = ServeConfig {
+            dispatch: Dispatch::Sharded,
+            load: 0.7,
+            ..base_cfg(400)
+        };
+        let (report, ts) =
+            simulate_observed(&pod, &workload, &cfg, None, Some(&TimeSeriesConfig::new()))
+                .expect("sim");
+        let ts = ts.expect("ts");
+        assert_eq!(
+            ts.windows.iter().map(|w| w.completed).sum::<u64>(),
+            report.completed
+        );
+        for e in &ts.exemplars {
+            assert_eq!(e.form_wait + e.queue_wait + e.compute + e.refill, e.latency);
+            assert_eq!(e.refill, 0, "sharded dispatch never preempts");
+        }
+    }
+
+    #[test]
+    fn observed_rejects_invalid_timeseries_config() {
+        let pod = PodSpec::parse("8x8:os").expect("pod");
+        let bad = TimeSeriesConfig {
+            window_cycles: Some(0),
+            ..TimeSeriesConfig::new()
+        };
+        assert!(matches!(
+            simulate_observed(&pod, &tiny_workload(), &base_cfg(10), None, Some(&bad)),
             Err(ServeError::Config(_))
         ));
     }

@@ -29,7 +29,12 @@
 //!   report with embedded run manifest and a `results_fnv1a64`
 //!   determinism fingerprint;
 //! * [`trace`] — Chrome-trace export with one lane per array (pid 0),
-//!   composing with the host-span trace on pid 1.
+//!   composing with the host-span trace on pid 1;
+//! * [`timeseries`] — streaming per-window observability
+//!   (`fuseconv-serve-timeseries-v1`): offered/goodput/drops, queue
+//!   depth, per-array utilization, latency quantile sketches,
+//!   multi-window SLO burn-rate alerts and tail exemplars with exact
+//!   per-request phase accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,13 +44,15 @@ pub mod engine;
 pub mod oracle;
 pub mod report;
 pub mod spec;
+pub mod timeseries;
 pub mod trace;
 pub mod traffic;
 
 pub use batch::BatchPolicy;
-pub use engine::{simulate, Dispatch, ServeConfig};
+pub use engine::{simulate, simulate_observed, Dispatch, ServeConfig};
 pub use oracle::{CostOracle, ShardPlan};
 pub use report::ServeReport;
 pub use spec::{ArraySpec, PodSpec, ServeError};
+pub use timeseries::{TimeSeriesConfig, TimeSeriesReport, TIMESERIES_SCHEMA};
 pub use trace::PodTraceSink;
 pub use traffic::Workload;

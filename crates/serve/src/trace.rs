@@ -93,6 +93,18 @@ impl PodTraceSink {
         ));
     }
 
+    /// Emits a sample on a named counter track (`ph: "C"`); the
+    /// time-series layer uses this for goodput and per-array
+    /// utilization tracks beside the batch lanes.
+    pub fn counter(&mut self, name: &str, at: u64, value: f64) {
+        self.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{:.3}}}}}",
+            json_escape(name),
+            at,
+            value
+        ));
+    }
+
     /// Marks a preemption as an instant event on the victim array's
     /// lane.
     pub fn preemption(&mut self, array: usize, at: u64, label: &str) {
@@ -164,6 +176,17 @@ mod tests {
         assert!(json.contains("preempt: mobilenet-v1"));
         assert!(json.contains("\"manifest\":{\"schema\":\"fuseconv-manifest-v1\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn named_counter_tracks_render() {
+        let mut sink = PodTraceSink::new(&pod());
+        sink.counter("goodput", 100, 12.0);
+        sink.counter("util 8x8:os", 100, 87.5);
+        let json = sink.into_json();
+        assert!(json.contains("\"name\":\"goodput\""));
+        assert!(json.contains("\"name\":\"util 8x8:os\""));
+        assert!(json.contains("\"value\":87.500"));
     }
 
     #[test]

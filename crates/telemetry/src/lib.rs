@@ -12,6 +12,9 @@
 //! * [`metrics`] — a process-wide registry of named counters, gauges
 //!   and log₂ histograms (`sim.folds_total`, `legality.cache_hits`, …)
 //!   with a deterministic snapshot API and `fuseconv-metrics-v1` JSON;
+//! * [`sketch`] — a log-linear [`QuantileSketch`] with a documented
+//!   1/64 relative-error bound, the p99/p999 substrate of the serving
+//!   time-series layer (the registry's log₂ histogram is too coarse);
 //! * [`manifest`] — run provenance: a [`RunManifest`]
 //!   (`fuseconv-manifest-v1`: tool version, config hash, array
 //!   dims/dataflow, seed, host triple, timing) embedded into every JSON
@@ -33,6 +36,7 @@
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod sketch;
 pub mod span;
 pub mod time;
 
@@ -41,6 +45,7 @@ pub use metrics::{
     counter, gauge, histogram, snapshot as metrics_snapshot, Counter, Gauge, Histogram,
     MetricsSnapshot, METRICS_SCHEMA,
 };
+pub use sketch::{QuantileSketch, SKETCH_SUBBUCKETS, SKETCH_SUB_BITS};
 pub use span::{
     enabled as spans_enabled, set_enabled as set_spans_enabled, snapshot as span_snapshot, span,
     Span, SpanNode, SpanTree,

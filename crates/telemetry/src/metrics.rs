@@ -64,7 +64,8 @@ impl Gauge {
 
 /// Number of log₂ buckets: bucket `i` counts samples whose value has
 /// `i` significant bits (bucket 0 holds value 0), so bucket upper
-/// bounds run 0, 1, 3, 7, … `u64::MAX`.
+/// bounds run 0, 1, 3, 7, … `u64::MAX` — value `2^k − 1` is the top of
+/// bucket `k` and `2^k` is the bottom of bucket `k + 1`.
 const BUCKETS: usize = 65;
 
 /// Lock-free log₂ histogram of `u64` samples.
@@ -368,6 +369,32 @@ mod tests {
         assert_eq!(s.buckets[10], 1);
         assert_eq!(s.quantile_bound(50), 3); // rank 3 lands in bucket 2
         assert_eq!(s.quantile_bound(99), 1023); // rank 5 in bucket 10
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Bucket i holds values with i significant bits: 2^k − 1 is the
+        // last value of bucket k, 2^k the first of bucket k + 1, and
+        // u64::MAX (64 significant bits) tops out bucket 64.
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        for k in 1..64u32 {
+            h.record((1u64 << k) - 1);
+            h.record(1u64 << k);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1, "bucket 0 holds exactly the value 0");
+        // Bucket 1 sees the explicit 1 and 2^1 − 1 (the same value).
+        assert_eq!(s.buckets[1], 2);
+        for k in 2..64usize {
+            // Each middle bucket k gets 2^k − 1 (top) and 2^(k−1) (bottom).
+            assert_eq!(s.buckets[k], 2, "bucket {k}");
+        }
+        assert_eq!(s.buckets[64], 2, "2^63 and u64::MAX share bucket 64");
+        assert_eq!(s.count, 3 + 2 * 63);
+        assert_eq!(s.quantile_bound(100), u64::MAX);
     }
 
     #[test]
